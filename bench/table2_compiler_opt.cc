@@ -1,0 +1,102 @@
+// Table II reproduction: effect of compiler optimization (-O0 vs -O2) on
+// the four §VI-A queries across the five code variants. All variants are
+// compiled at query time (as the paper does, to give the generic versions
+// the same per-query compilation benefit).
+// Expected shape: -O2 speedups of ~3-5x on Join Query #1 (loop-oriented
+// transformations dominate) and ~2x elsewhere; hard-coded variants gain the
+// most in absolute terms but are already fastest at -O0.
+
+#include <cstdio>
+
+#include "bench_support/flags.h"
+#include "bench_support/micro_data.h"
+#include "util/env.h"
+#include "variants/variants.h"
+
+using namespace hique;
+
+int main(int argc, char** argv) {
+  bench::Flags flags(argc, argv);
+  double scale = flags.GetDouble("scale", 1.0);
+  int repeat = static_cast<int>(flags.GetInt("repeat", 2));
+  std::string dir = env::ProcessTempDir() + "/table2";
+
+  std::printf("Table II: effect of compiler optimization "
+              "(response times in seconds, scale=%.2f)\n\n", scale);
+
+  Catalog catalog;
+  uint64_t rows_small = static_cast<uint64_t>(10000 * scale);
+  uint64_t rows_large = static_cast<uint64_t>(1000000 * scale);
+
+  bench::MicroTableSpec spec;
+  spec.rows = rows_small;
+  spec.key_domain = 10;
+  spec.seed = 11;
+  Table* j1o = bench::MakeMicroTable(&catalog, "j1o", spec).value();
+  spec.seed = 12;
+  Table* j1i = bench::MakeMicroTable(&catalog, "j1i", spec).value();
+
+  spec.rows = rows_large;
+  spec.key_domain = static_cast<int64_t>(100000 * scale) + 1;
+  spec.seed = 21;
+  Table* j2o = bench::MakeMicroTable(&catalog, "j2o", spec).value();
+  spec.seed = 22;
+  Table* j2i = bench::MakeMicroTable(&catalog, "j2i", spec).value();
+
+  spec.seed = 31;
+  Table* a1 = bench::MakeMicroTable(&catalog, "a1", spec).value();
+  spec.key_domain = 10;
+  spec.seed = 32;
+  Table* a2 = bench::MakeMicroTable(&catalog, "a2", spec).value();
+
+  struct QuerySpec {
+    const char* name;
+    variants::MicroQuery query;
+    std::vector<Table*> tables;
+    variants::MicroParams params;
+  };
+  variants::MicroParams pj1, pj2, pa1, pa2;
+  pj2.partitions = 128;
+  pa1.partitions = 128;
+  pa2.map_domain = 10;
+  std::vector<QuerySpec> queries = {
+      {"Join Query #1", variants::MicroQuery::kJoinMerge, {j1o, j1i}, pj1},
+      {"Join Query #2", variants::MicroQuery::kJoinHybrid, {j2o, j2i}, pj2},
+      {"Aggregation Query #1", variants::MicroQuery::kAggHybrid, {a1}, pa1},
+      {"Aggregation Query #2", variants::MicroQuery::kAggMap, {a2}, pa2},
+  };
+
+  std::vector<std::string> headers = {"variant"};
+  for (const auto& q : queries) {
+    headers.push_back(std::string(q.name) + " -O0");
+    headers.push_back(std::string(q.name) + " -O2");
+  }
+  bench::ResultPrinter table(headers);
+
+  using V = variants::Style;
+  for (V style : {V::kGenericIterators, V::kOptimizedIterators,
+                  V::kGenericHardcoded, V::kOptimizedHardcoded, V::kHique}) {
+    std::vector<std::string> row = {variants::StyleName(style)};
+    for (const auto& q : queries) {
+      for (int opt : {0, 2}) {
+        double best = 1e100;
+        for (int r = 0; r < repeat; ++r) {
+          auto run =
+              variants::RunVariant(q.query, style, q.params, q.tables, opt,
+                                   dir);
+          if (!run.ok()) {
+            std::printf("%s %s -O%d failed: %s\n", q.name,
+                        variants::StyleName(style), opt,
+                        run.status().ToString().c_str());
+            return 1;
+          }
+          best = std::min(best, run.value().execute_seconds);
+        }
+        row.push_back(bench::Sec(best));
+      }
+    }
+    table.AddRow(std::move(row));
+  }
+  table.Print();
+  return 0;
+}

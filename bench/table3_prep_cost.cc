@@ -1,0 +1,83 @@
+// Table III reproduction: query preparation cost for TPC-H Q1/Q3/Q10 —
+// parse / optimize / generate times, compilation time at -O0 and -O2, and
+// the generated source / shared-library sizes.
+// Expected shape (paper): parse+optimize+generate < 25 ms total; -O2
+// compilation a few hundred ms and 2-3x the -O0 time; artefacts tens of KB.
+
+#include <cstdio>
+
+#include "bench_support/flags.h"
+#include "bench_support/micro_data.h"
+#include "exec/engine.h"
+#include "tpch/tpch.h"
+#include "util/env.h"
+
+using namespace hique;
+
+int main(int argc, char** argv) {
+  bench::Flags flags(argc, argv);
+  double sf = flags.GetDouble("sf", 0.01);
+
+  std::printf("Table III: query preparation cost (TPC-H, SF=%.2f for "
+              "catalogue statistics)\n\n", sf);
+
+  Catalog catalog;
+  tpch::TpchOptions topts;
+  topts.scale_factor = sf;
+  Status load = tpch::LoadTpch(&catalog, topts);
+  if (!load.ok()) {
+    std::printf("load failed: %s\n", load.ToString().c_str());
+    return 1;
+  }
+
+  struct QuerySpec {
+    const char* name;
+    std::string sql;
+  };
+  std::vector<QuerySpec> queries = {{"Q1", tpch::Query1Sql()},
+                                    {"Q3", tpch::Query3Sql()},
+                                    {"Q10", tpch::Query10Sql()}};
+
+  bench::ResultPrinter table({"query", "parse (ms)", "optimize (ms)",
+                              "generate (ms)", "compile -O0 (ms)",
+                              "compile -O2 (ms)", "source (bytes)",
+                              "library -O2 (bytes)"});
+  for (const auto& q : queries) {
+    double parse_ms = 0, optimize_ms = 0, generate_ms = 0;
+    double compile_o0 = 0, compile_o2 = 0;
+    int64_t src_bytes = 0, lib_bytes = 0;
+    for (int opt : {0, 2}) {
+      EngineOptions eopts;
+      eopts.gen_dir = env::ProcessTempDir() + "/table3";
+      eopts.compile.opt_level = opt;
+      eopts.cache_compiled = false;
+      HiqueEngine engine(&catalog, eopts);
+      auto res = engine.Query(q.sql);
+      if (!res.ok()) {
+        std::printf("%s: %s\n", q.name, res.status().ToString().c_str());
+        return 1;
+      }
+      const QueryTimings& t = res.value().timings;
+      if (opt == 0) {
+        compile_o0 = t.compile_ms;
+      } else {
+        compile_o2 = t.compile_ms;
+        parse_ms = t.parse_ms;
+        optimize_ms = t.optimize_ms;
+        generate_ms = t.generate_ms;
+        src_bytes = res.value().source_bytes;
+        lib_bytes = res.value().library_bytes;
+      }
+    }
+    char p[32], o[32], g[32], c0[32], c2[32];
+    std::snprintf(p, sizeof(p), "%.1f", parse_ms);
+    std::snprintf(o, sizeof(o), "%.1f", optimize_ms);
+    std::snprintf(g, sizeof(g), "%.1f", generate_ms);
+    std::snprintf(c0, sizeof(c0), "%.0f", compile_o0);
+    std::snprintf(c2, sizeof(c2), "%.0f", compile_o2);
+    table.AddRow({q.name, p, o, g, c0, c2, std::to_string(src_bytes),
+                  std::to_string(lib_bytes)});
+  }
+  table.Print();
+  return 0;
+}

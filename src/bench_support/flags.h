@@ -1,0 +1,54 @@
+#ifndef HIQUE_BENCH_SUPPORT_FLAGS_H_
+#define HIQUE_BENCH_SUPPORT_FLAGS_H_
+
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+namespace hique::bench {
+
+/// Minimal "--name=value" flag lookup for the benchmark binaries.
+class Flags {
+ public:
+  Flags(int argc, char** argv) : argc_(argc), argv_(argv) {}
+
+  double GetDouble(const std::string& name, double def) const {
+    std::string v;
+    return Find(name, &v) ? std::atof(v.c_str()) : def;
+  }
+  int64_t GetInt(const std::string& name, int64_t def) const {
+    std::string v;
+    return Find(name, &v) ? std::atoll(v.c_str()) : def;
+  }
+  bool GetBool(const std::string& name, bool def) const {
+    std::string v;
+    if (!Find(name, &v)) return def;
+    return v.empty() || v == "1" || v == "true";
+  }
+
+ private:
+  bool Find(const std::string& name, std::string* value) const {
+    std::string prefix = "--" + name;
+    for (int i = 1; i < argc_; ++i) {
+      const char* arg = argv_[i];
+      if (std::strncmp(arg, prefix.c_str(), prefix.size()) != 0) continue;
+      const char* rest = arg + prefix.size();
+      if (*rest == '=') {
+        *value = rest + 1;
+        return true;
+      }
+      if (*rest == '\0') {
+        *value = "";
+        return true;
+      }
+    }
+    return false;
+  }
+
+  int argc_;
+  char** argv_;
+};
+
+}  // namespace hique::bench
+
+#endif  // HIQUE_BENCH_SUPPORT_FLAGS_H_

@@ -1,0 +1,105 @@
+#include "bench_support/micro_data.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+
+#include "util/rng.h"
+
+namespace hique::bench {
+
+Schema MicroSchema(const std::string& prefix) {
+  Schema s;
+  s.AddColumn(prefix + "_k", Type::Int32());
+  s.AddColumn(prefix + "_v", Type::Int32());
+  s.AddColumn(prefix + "_a", Type::Double());
+  s.AddColumn(prefix + "_b", Type::Double());
+  s.AddColumn(prefix + "_pad", Type::Char(48));
+  HQ_CHECK_MSG(s.TupleSize() == 72, "micro tuple must be 72 bytes");
+  return s;
+}
+
+Result<Table*> MakeMicroTable(Catalog* catalog, const std::string& name,
+                              const MicroTableSpec& spec) {
+  HQ_ASSIGN_OR_RETURN(Table * table,
+                      catalog->CreateTable(name, MicroSchema(name)));
+  Rng rng(spec.seed);
+  std::vector<int32_t> keys;
+  if (spec.unique_dense) {
+    HQ_CHECK_MSG(spec.rows == static_cast<uint64_t>(spec.key_domain),
+                 "unique_dense requires rows == key_domain");
+    keys.resize(spec.rows);
+    for (uint64_t i = 0; i < spec.rows; ++i) {
+      keys[i] = static_cast<int32_t>(i);
+    }
+    rng.Shuffle(spec.rows, [&](uint64_t i, uint64_t j) {
+      std::swap(keys[i], keys[j]);
+    });
+  }
+  const Schema& schema = table->schema();
+  uint32_t off_k = schema.OffsetAt(0), off_v = schema.OffsetAt(1),
+           off_a = schema.OffsetAt(2), off_b = schema.OffsetAt(3),
+           off_pad = schema.OffsetAt(4);
+  for (uint64_t i = 0; i < spec.rows; ++i) {
+    HQ_ASSIGN_OR_RETURN(uint8_t * tup, table->AppendTupleSlot());
+    int32_t k = spec.unique_dense
+                    ? keys[i]
+                    : static_cast<int32_t>(rng.NextBounded(
+                          static_cast<uint64_t>(spec.key_domain)));
+    int32_t v = static_cast<int32_t>(rng.NextBounded(10000));
+    double a = static_cast<double>(v) * 0.25 + 1.0;
+    double b = static_cast<double>(k) * 0.5;
+    std::memcpy(tup + off_k, &k, 4);
+    std::memcpy(tup + off_v, &v, 4);
+    std::memcpy(tup + off_a, &a, 8);
+    std::memcpy(tup + off_b, &b, 8);
+    std::memset(tup + off_pad, 'x', 48);
+  }
+  HQ_RETURN_IF_ERROR(table->ComputeStats());
+  return table;
+}
+
+ResultPrinter::ResultPrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void ResultPrinter::AddRow(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+}
+
+void ResultPrinter::Print() const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& cells) {
+    for (size_t c = 0; c < cells.size(); ++c) {
+      std::printf("%-*s", static_cast<int>(widths[c] + 2), cells[c].c_str());
+    }
+    std::printf("\n");
+  };
+  print_row(headers_);
+  size_t total = 2 * headers_.size();
+  for (size_t w : widths) total += w;
+  std::string rule(total, '-');
+  std::printf("%s\n", rule.c_str());
+  for (const auto& row : rows_) print_row(row);
+}
+
+std::string Sec(double seconds) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", seconds);
+  return buf;
+}
+
+std::string Pct(double fraction) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2f%%", fraction * 100.0);
+  return buf;
+}
+
+}  // namespace hique::bench

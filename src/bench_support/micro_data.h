@@ -1,0 +1,52 @@
+#ifndef HIQUE_BENCH_SUPPORT_MICRO_DATA_H_
+#define HIQUE_BENCH_SUPPORT_MICRO_DATA_H_
+
+#include <string>
+#include <vector>
+
+#include "storage/catalog.h"
+#include "util/status.h"
+
+namespace hique::bench {
+
+/// The §VI-A/B microbenchmark table: 72-byte tuples as in the paper.
+/// Layout: <p>_k INT32 @0, <p>_v INT32 @4, <p>_a DOUBLE @8, <p>_b DOUBLE
+/// @16, <p>_pad CHAR(48) @24 — total 72 bytes.
+Schema MicroSchema(const std::string& prefix);
+
+struct MicroTableSpec {
+  uint64_t rows = 0;
+  /// Keys are drawn from [0, key_domain). Join fan-out is rows/key_domain
+  /// per side (the paper controls matches-per-outer-tuple this way).
+  int64_t key_domain = 1;
+  /// When true, keys are an exact shuffled permutation of [0, key_domain)
+  /// (requires rows == key_domain). Used for the Fig. 7(b) 100k tables.
+  bool unique_dense = false;
+  uint64_t seed = 42;
+};
+
+/// Creates and fills a micro table; computes statistics (the optimizer needs
+/// them for algorithm selection).
+Result<Table*> MakeMicroTable(Catalog* catalog, const std::string& name,
+                              const MicroTableSpec& spec);
+
+/// Simple fixed-width console table for paper-style output.
+class ResultPrinter {
+ public:
+  explicit ResultPrinter(std::vector<std::string> headers);
+  void AddRow(std::vector<std::string> cells);
+  void Print() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// "1.234" style second formatting.
+std::string Sec(double seconds);
+/// "12.3%" style percentage formatting.
+std::string Pct(double fraction);
+
+}  // namespace hique::bench
+
+#endif  // HIQUE_BENCH_SUPPORT_MICRO_DATA_H_

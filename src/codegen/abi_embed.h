@@ -1,0 +1,13 @@
+#ifndef HIQUE_CODEGEN_ABI_EMBED_H_
+#define HIQUE_CODEGEN_ABI_EMBED_H_
+
+namespace hique::codegen {
+
+/// The full text of runtime_abi.h, embedded at build time. The generator
+/// prepends it to every generated source file so generated code compiles
+/// standalone with no include paths.
+extern const char* const kAbiHeaderSource;
+
+}  // namespace hique::codegen
+
+#endif  // HIQUE_CODEGEN_ABI_EMBED_H_

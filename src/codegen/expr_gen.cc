@@ -1,0 +1,147 @@
+#include "codegen/expr_gen.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "util/macros.h"
+
+namespace hique::codegen {
+
+std::string LiteralToC(const Value& v) {
+  switch (v.type_id()) {
+    case TypeId::kInt32:
+    case TypeId::kDate:
+      return std::to_string(v.AsInt32());
+    case TypeId::kInt64:
+      return std::to_string(v.AsInt64()) + "LL";
+    case TypeId::kDouble: {
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "%.17g", v.AsDouble());
+      std::string s = buf;
+      // Ensure a floating token ("1" -> "1.0").
+      if (s.find_first_of(".eE") == std::string::npos) s += ".0";
+      return s;
+    }
+    case TypeId::kChar:
+      return CStringLiteral(v.AsString());
+  }
+  return "0";
+}
+
+std::string CStringLiteral(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20 ||
+            static_cast<unsigned char>(c) > 0x7E) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\%03o",
+                        static_cast<unsigned char>(c));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += "\"";
+  return out;
+}
+
+std::string FieldAccess(const std::string& rec, uint32_t offset, Type type) {
+  std::string addr =
+      offset == 0 ? rec : "(" + rec + " + " + std::to_string(offset) + ")";
+  if (type.id == TypeId::kChar) {
+    return "((const char*)" + addr + ")";
+  }
+  return std::string("(*(const ") + type.CType() + "*)" + addr + ")";
+}
+
+std::string FilterCondition(const std::string& rec, const Schema& schema,
+                            const sql::Filter& filter) {
+  Type type = schema.ColumnAt(filter.column.column).type;
+  uint32_t offset = schema.OffsetAt(filter.column.column);
+  std::string lhs = FieldAccess(rec, offset, type);
+  if (filter.rhs_is_column) {
+    Type rtype = schema.ColumnAt(filter.rhs_column.column).type;
+    uint32_t roffset = schema.OffsetAt(filter.rhs_column.column);
+    std::string rhs = FieldAccess(rec, roffset, rtype);
+    if (type.id == TypeId::kChar) {
+      uint16_t len = std::min(type.length, rtype.length);
+      return "(memcmp(" + lhs + ", " + rhs + ", " + std::to_string(len) +
+             ") " + sql::CmpOpToC(filter.op) + " 0)";
+    }
+    return "(" + lhs + " " + sql::CmpOpToC(filter.op) + " " + rhs + ")";
+  }
+  if (type.id == TypeId::kChar) {
+    return "(memcmp(" + lhs + ", " + CStringLiteral(filter.literal.AsString()) +
+           ", " + std::to_string(type.length) + ") " +
+           sql::CmpOpToC(filter.op) + " 0)";
+  }
+  return "(" + lhs + " " + sql::CmpOpToC(filter.op) + " " +
+         LiteralToC(filter.literal) + ")";
+}
+
+std::string ScalarToC(const std::string& rec, const plan::RecordLayout& layout,
+                      const sql::ScalarExpr& expr) {
+  switch (expr.kind) {
+    case sql::ScalarKind::kColumn: {
+      int idx = layout.FindField(expr.column);
+      HQ_CHECK_MSG(idx >= 0, "scalar column not found in layout");
+      return FieldAccess(rec, layout.OffsetOf(idx), expr.type);
+    }
+    case sql::ScalarKind::kLiteral:
+      return LiteralToC(expr.literal);
+    case sql::ScalarKind::kArith: {
+      std::string l = ScalarToC(rec, layout, *expr.left);
+      std::string r = ScalarToC(rec, layout, *expr.right);
+      if (expr.type.id == TypeId::kDouble) {
+        l = "(double)" + l;
+      }
+      return "(" + l + " " + std::string(1, expr.op) + " " + r + ")";
+    }
+  }
+  return "0";
+}
+
+void AppendFieldCompare(std::string* out, const std::string& a,
+                        const std::string& b, uint32_t offset, Type type,
+                        bool desc, const std::string& indent) {
+  const char* lt = desc ? "1" : "-1";
+  const char* gt = desc ? "-1" : "1";
+  if (type.id == TypeId::kChar) {
+    std::string off = std::to_string(offset);
+    std::string len = std::to_string(type.length);
+    *out += indent + "{ int c = memcmp(" + a + " + " + off + ", " + b +
+            " + " + off + ", " + len + ");\n";
+    *out += indent + "  if (c < 0) return " + lt + "; if (c > 0) return " +
+            gt + "; }\n";
+    return;
+  }
+  std::string fa = FieldAccess(a, offset, type);
+  std::string fb = FieldAccess(b, offset, type);
+  *out += indent + "if (" + fa + " < " + fb + ") return " + lt + ";\n";
+  *out += indent + "if (" + fa + " > " + fb + ") return " + gt + ";\n";
+}
+
+std::string FieldEquals(const std::string& a, const std::string& b,
+                        uint32_t offset, Type type) {
+  if (type.id == TypeId::kChar) {
+    std::string off = std::to_string(offset);
+    return "(memcmp(" + a + " + " + off + ", " + b + " + " + off + ", " +
+           std::to_string(type.length) + ") == 0)";
+  }
+  return "(" + FieldAccess(a, offset, type) +
+         " == " + FieldAccess(b, offset, type) + ")";
+}
+
+}  // namespace hique::codegen

@@ -1,0 +1,45 @@
+#ifndef HIQUE_CODEGEN_EXPR_GEN_H_
+#define HIQUE_CODEGEN_EXPR_GEN_H_
+
+#include <string>
+
+#include "plan/physical.h"
+#include "sql/bound.h"
+
+namespace hique::codegen {
+
+/// C rendering of a literal (e.g. "42", "42LL", "1.5e0"; CHAR literals
+/// render as escaped C string literals for memcmp).
+std::string LiteralToC(const Value& v);
+
+/// C string literal with escapes, e.g. "BUILDING  " -> "\"BUILDING  \"".
+std::string CStringLiteral(const std::string& s);
+
+/// Typed field access on a record pointer: `(*(const int32_t*)(rec + 16))`.
+/// CHAR fields render as `((const char*)(rec + 16))`.
+std::string FieldAccess(const std::string& rec, uint32_t offset, Type type);
+
+/// Condition text for a filter applied to a base-table tuple `rec` whose
+/// layout is the table schema.
+std::string FilterCondition(const std::string& rec, const Schema& schema,
+                            const sql::Filter& filter);
+
+/// C expression computing a bound scalar over a record with the given
+/// layout. All referenced columns must resolve in `layout`.
+std::string ScalarToC(const std::string& rec, const plan::RecordLayout& layout,
+                      const sql::ScalarExpr& expr);
+
+/// Three-way comparison text between two same-typed fields of two records:
+/// appends statements to `out` that compare and `return -1/1` on inequality.
+/// Used to build record comparators.
+void AppendFieldCompare(std::string* out, const std::string& a,
+                        const std::string& b, uint32_t offset, Type type,
+                        bool desc, const std::string& indent);
+
+/// Equality condition between same-typed fields of two records.
+std::string FieldEquals(const std::string& a, const std::string& b,
+                        uint32_t offset, Type type);
+
+}  // namespace hique::codegen
+
+#endif  // HIQUE_CODEGEN_EXPR_GEN_H_

@@ -1,0 +1,26 @@
+#ifndef HIQUE_CODEGEN_GENERATOR_H_
+#define HIQUE_CODEGEN_GENERATOR_H_
+
+#include <string>
+
+#include "plan/physical.h"
+#include "util/status.h"
+
+namespace hique::codegen {
+
+/// The product of code generation: one self-contained C++ source file
+/// evaluating the whole query, with a single extern "C" entry point
+/// (paper Fig. 3: one function per staging input / operator plus a
+/// composing main function).
+struct GeneratedQuery {
+  std::string source;
+  std::string entry_symbol = "hique_query_main";
+};
+
+/// Instantiates the holistic code templates for every operator descriptor in
+/// the plan and composes them into one source file (paper §V).
+Result<GeneratedQuery> Generate(const plan::PhysicalPlan& plan);
+
+}  // namespace hique::codegen
+
+#endif  // HIQUE_CODEGEN_GENERATOR_H_

@@ -1,0 +1,767 @@
+#include "column/column_engine.h"
+
+#include <algorithm>
+#include <cstring>
+#include <map>
+
+#include "sql/binder.h"
+#include "util/timer.h"
+
+namespace hique::col {
+namespace {
+
+using sql::AggFunc;
+using sql::BoundQuery;
+using sql::ColRef;
+using sql::CmpOp;
+
+/// Gathered scalar column as doubles (vectorized primitive input).
+std::vector<double> GatherNumeric(const ColumnData& col,
+                                  const std::vector<uint32_t>& rows) {
+  std::vector<double> out(rows.size());
+  switch (col.type.id) {
+    case TypeId::kInt32:
+    case TypeId::kDate:
+      for (size_t i = 0; i < rows.size(); ++i) out[i] = col.i32[rows[i]];
+      break;
+    case TypeId::kInt64:
+      for (size_t i = 0; i < rows.size(); ++i) {
+        out[i] = static_cast<double>(col.i64[rows[i]]);
+      }
+      break;
+    case TypeId::kDouble:
+      for (size_t i = 0; i < rows.size(); ++i) out[i] = col.f64[rows[i]];
+      break;
+    case TypeId::kChar:
+      break;
+  }
+  return out;
+}
+
+bool CmpHolds(int cmp, CmpOp op) {
+  switch (op) {
+    case CmpOp::kEq:
+      return cmp == 0;
+    case CmpOp::kNe:
+      return cmp != 0;
+    case CmpOp::kLt:
+      return cmp < 0;
+    case CmpOp::kLe:
+      return cmp <= 0;
+    case CmpOp::kGt:
+      return cmp > 0;
+    case CmpOp::kGe:
+      return cmp >= 0;
+  }
+  return false;
+}
+
+class ColumnExecutor {
+ public:
+  ColumnExecutor(const BoundQuery& q, std::vector<const ColumnTable*> tables)
+      : q_(q), tables_(std::move(tables)) {}
+
+  uint64_t intermediate_bytes() const { return intermediate_bytes_; }
+
+  Result<std::unique_ptr<Table>> Run() {
+    HQ_RETURN_IF_ERROR(SelectPhase());
+    HQ_RETURN_IF_ERROR(JoinPhase());
+    if (q_.HasAggregation()) {
+      HQ_RETURN_IF_ERROR(GroupPhase());
+    }
+    return OutputPhase();
+  }
+
+ private:
+  // ---- selection: one candidate list per table, one pass per predicate ---
+  Status SelectPhase() {
+    selections_.resize(tables_.size());
+    for (size_t t = 0; t < tables_.size(); ++t) {
+      std::vector<uint32_t>& sel = selections_[t];
+      sel.resize(tables_[t]->rows);
+      for (uint64_t i = 0; i < tables_[t]->rows; ++i) {
+        sel[i] = static_cast<uint32_t>(i);
+      }
+      for (const auto& f : q_.filters) {
+        if (f.column.table != static_cast<int>(t)) continue;
+        const ColumnData& col = tables_[t]->columns[f.column.column];
+        std::vector<uint32_t> next;
+        next.reserve(sel.size());
+        if (f.rhs_is_column) {
+          const ColumnData& rhs = tables_[t]->columns[f.rhs_column.column];
+          for (uint32_t r : sel) {
+            int cmp = CompareAt(col, r, rhs, r);
+            if (CmpHolds(cmp, f.op)) next.push_back(r);
+          }
+        } else {
+          for (uint32_t r : sel) {
+            int cmp = CompareLiteral(col, r, f.literal);
+            if (CmpHolds(cmp, f.op)) next.push_back(r);
+          }
+        }
+        intermediate_bytes_ += next.size() * sizeof(uint32_t);
+        sel = std::move(next);  // materialized candidate list
+      }
+    }
+    return Status::OK();
+  }
+
+  static int CompareAt(const ColumnData& a, uint32_t ra, const ColumnData& b,
+                       uint32_t rb) {
+    switch (a.type.id) {
+      case TypeId::kInt32:
+      case TypeId::kDate: {
+        int32_t x = a.i32[ra], y = b.i32[rb];
+        return x < y ? -1 : (x > y ? 1 : 0);
+      }
+      case TypeId::kInt64: {
+        int64_t x = a.i64[ra], y = b.i64[rb];
+        return x < y ? -1 : (x > y ? 1 : 0);
+      }
+      case TypeId::kDouble: {
+        double x = a.f64[ra], y = b.f64[rb];
+        return x < y ? -1 : (x > y ? 1 : 0);
+      }
+      case TypeId::kChar: {
+        uint16_t len = std::min(a.type.length, b.type.length);
+        int c = std::memcmp(a.CharAt(ra), b.CharAt(rb), len);
+        return c < 0 ? -1 : (c > 0 ? 1 : 0);
+      }
+    }
+    return 0;
+  }
+
+  static int CompareLiteral(const ColumnData& col, uint32_t row,
+                            const Value& lit) {
+    switch (col.type.id) {
+      case TypeId::kInt32:
+      case TypeId::kDate: {
+        int32_t x = col.i32[row], y = lit.AsInt32();
+        return x < y ? -1 : (x > y ? 1 : 0);
+      }
+      case TypeId::kInt64: {
+        int64_t x = col.i64[row], y = lit.AsInt64();
+        return x < y ? -1 : (x > y ? 1 : 0);
+      }
+      case TypeId::kDouble: {
+        double x = col.f64[row], y = lit.AsDouble();
+        return x < y ? -1 : (x > y ? 1 : 0);
+      }
+      case TypeId::kChar: {
+        std::string padded = lit.AsString();
+        padded.resize(col.type.length, ' ');
+        int c = std::memcmp(col.CharAt(row), padded.data(), col.type.length);
+        return c < 0 ? -1 : (c > 0 ? 1 : 0);
+      }
+    }
+    return 0;
+  }
+
+  // ---- joins: sort-merge over (key, rowid) arrays, materialized join
+  // index after every join (MonetDB-style full materialization) ------------
+  struct KeyRow {
+    int64_t key;
+    uint32_t pos;  // position in the current rowid matrix / selection
+  };
+
+  static Result<std::vector<KeyRow>> ExtractKeys(
+      const ColumnData& col, const std::vector<uint32_t>& rows) {
+    std::vector<KeyRow> out(rows.size());
+    for (size_t i = 0; i < rows.size(); ++i) {
+      int64_t k = 0;
+      switch (col.type.id) {
+        case TypeId::kInt32:
+        case TypeId::kDate:
+          k = col.i32[rows[i]];
+          break;
+        case TypeId::kInt64:
+          k = col.i64[rows[i]];
+          break;
+        case TypeId::kDouble:
+          return Status::NotImplemented("double join keys");
+        case TypeId::kChar: {
+          if (col.type.length > 8) {
+            return Status::NotImplemented("wide CHAR join keys");
+          }
+          std::memcpy(&k, col.CharAt(rows[i]), col.type.length);
+          break;
+        }
+      }
+      out[i] = {k, static_cast<uint32_t>(i)};
+    }
+    return out;
+  }
+
+  Status JoinPhase() {
+    // The rowid matrix: matrix_[t][i] = rowid in table t of intermediate
+    // row i. Tables join in BoundQuery order following available preds.
+    matrix_.assign(tables_.size(), {});
+    joined_.assign(tables_.size(), false);
+    if (tables_.size() == 1 || q_.joins.empty()) {
+      matrix_[0] = selections_[0];
+      joined_[0] = true;
+      rows_ = matrix_[0].size();
+      if (tables_.size() > 1) {
+        return Status::NotImplemented("cross products in column engine");
+      }
+      return Status::OK();
+    }
+
+    std::vector<bool> used(q_.joins.size(), false);
+    // Seed with the first predicate.
+    HQ_RETURN_IF_ERROR(ApplyFirstJoin(q_.joins[0]));
+    used[0] = true;
+    bool progress = true;
+    while (progress) {
+      progress = false;
+      for (size_t j = 0; j < q_.joins.size(); ++j) {
+        if (used[j]) continue;
+        const auto& pred = q_.joins[j];
+        bool l_in = joined_[pred.left.table];
+        bool r_in = joined_[pred.right.table];
+        if (l_in && r_in) {
+          HQ_RETURN_IF_ERROR(ApplySemiPred(pred));
+          used[j] = true;
+          progress = true;
+        } else if (l_in != r_in) {
+          HQ_RETURN_IF_ERROR(
+              ApplyExtendJoin(pred, l_in ? pred.left : pred.right,
+                              l_in ? pred.right : pred.left));
+          used[j] = true;
+          progress = true;
+        }
+      }
+    }
+    for (size_t j = 0; j < q_.joins.size(); ++j) {
+      if (!used[j]) {
+        return Status::NotImplemented("disconnected join graph");
+      }
+    }
+    for (size_t t = 0; t < tables_.size(); ++t) {
+      if (!joined_[t]) {
+        return Status::NotImplemented("table without join predicate");
+      }
+    }
+    return Status::OK();
+  }
+
+  Status ApplyFirstJoin(const sql::JoinPred& pred) {
+    int lt = pred.left.table, rt = pred.right.table;
+    HQ_ASSIGN_OR_RETURN(auto lk,
+                        ExtractKeys(tables_[lt]->columns[pred.left.column],
+                                    selections_[lt]));
+    HQ_ASSIGN_OR_RETURN(auto rk,
+                        ExtractKeys(tables_[rt]->columns[pred.right.column],
+                                    selections_[rt]));
+    auto by_key = [](const KeyRow& a, const KeyRow& b) {
+      return a.key < b.key;
+    };
+    std::sort(lk.begin(), lk.end(), by_key);
+    std::sort(rk.begin(), rk.end(), by_key);
+    std::vector<uint32_t> lrows, rrows;
+    size_t i = 0, j = 0;
+    while (i < lk.size() && j < rk.size()) {
+      if (lk[i].key < rk[j].key) {
+        ++i;
+      } else if (lk[i].key > rk[j].key) {
+        ++j;
+      } else {
+        size_t i2 = i, j2 = j;
+        while (i2 < lk.size() && lk[i2].key == lk[i].key) ++i2;
+        while (j2 < rk.size() && rk[j2].key == rk[j].key) ++j2;
+        for (size_t a = i; a < i2; ++a) {
+          for (size_t b = j; b < j2; ++b) {
+            lrows.push_back(selections_[lt][lk[a].pos]);
+            rrows.push_back(selections_[rt][rk[b].pos]);
+          }
+        }
+        i = i2;
+        j = j2;
+      }
+    }
+    intermediate_bytes_ += (lrows.size() + rrows.size()) * sizeof(uint32_t);
+    matrix_[lt] = std::move(lrows);
+    matrix_[rt] = std::move(rrows);
+    joined_[lt] = joined_[rt] = true;
+    rows_ = matrix_[lt].size();
+    return Status::OK();
+  }
+
+  /// Extends the rowid matrix with a new table via `stream_key` (already
+  /// joined side) = `table_key` (new table).
+  Status ApplyExtendJoin(const sql::JoinPred& pred, ColRef stream_key,
+                         ColRef table_key) {
+    int st = stream_key.table, nt = table_key.table;
+    // Keys of the current intermediate for the joined side.
+    std::vector<KeyRow> sk(rows_);
+    const ColumnData& scol = tables_[st]->columns[stream_key.column];
+    for (uint64_t i = 0; i < rows_; ++i) {
+      int64_t k = 0;
+      uint32_t row = matrix_[st][i];
+      switch (scol.type.id) {
+        case TypeId::kInt32:
+        case TypeId::kDate:
+          k = scol.i32[row];
+          break;
+        case TypeId::kInt64:
+          k = scol.i64[row];
+          break;
+        default: {
+          if (scol.type.id == TypeId::kChar && scol.type.length <= 8) {
+            std::memcpy(&k, scol.CharAt(row), scol.type.length);
+          } else {
+            return Status::NotImplemented("join key type in column engine");
+          }
+        }
+      }
+      sk[i] = {k, static_cast<uint32_t>(i)};
+    }
+    HQ_ASSIGN_OR_RETURN(auto nk,
+                        ExtractKeys(tables_[nt]->columns[table_key.column],
+                                    selections_[nt]));
+    auto by_key = [](const KeyRow& a, const KeyRow& b) {
+      return a.key < b.key;
+    };
+    std::sort(sk.begin(), sk.end(), by_key);
+    std::sort(nk.begin(), nk.end(), by_key);
+    std::vector<uint32_t> keep;       // surviving intermediate positions
+    std::vector<uint32_t> new_rows;   // matching rowids in the new table
+    size_t i = 0, j = 0;
+    while (i < sk.size() && j < nk.size()) {
+      if (sk[i].key < nk[j].key) {
+        ++i;
+      } else if (sk[i].key > nk[j].key) {
+        ++j;
+      } else {
+        size_t i2 = i, j2 = j;
+        while (i2 < sk.size() && sk[i2].key == sk[i].key) ++i2;
+        while (j2 < nk.size() && nk[j2].key == nk[j].key) ++j2;
+        for (size_t a = i; a < i2; ++a) {
+          for (size_t b = j; b < j2; ++b) {
+            keep.push_back(sk[a].pos);
+            new_rows.push_back(selections_[nt][nk[b].pos]);
+          }
+        }
+        i = i2;
+        j = j2;
+      }
+    }
+    // Rebuild the whole matrix (full materialization).
+    std::vector<std::vector<uint32_t>> next(tables_.size());
+    for (size_t t = 0; t < tables_.size(); ++t) {
+      if (!joined_[t]) continue;
+      next[t].resize(keep.size());
+      for (size_t x = 0; x < keep.size(); ++x) {
+        next[t][x] = matrix_[t][keep[x]];
+      }
+      intermediate_bytes_ += next[t].size() * sizeof(uint32_t);
+    }
+    next[nt] = std::move(new_rows);
+    intermediate_bytes_ += next[nt].size() * sizeof(uint32_t);
+    matrix_ = std::move(next);
+    joined_[nt] = true;
+    rows_ = matrix_[nt].size();
+    return Status::OK();
+  }
+
+  /// Residual predicate between two already-joined tables.
+  Status ApplySemiPred(const sql::JoinPred& pred) {
+    const ColumnData& lc = tables_[pred.left.table]->columns[pred.left.column];
+    const ColumnData& rc =
+        tables_[pred.right.table]->columns[pred.right.column];
+    std::vector<uint32_t> keep;
+    for (uint64_t i = 0; i < rows_; ++i) {
+      if (CompareAt(lc, matrix_[pred.left.table][i], rc,
+                    matrix_[pred.right.table][i]) == 0) {
+        keep.push_back(static_cast<uint32_t>(i));
+      }
+    }
+    for (size_t t = 0; t < tables_.size(); ++t) {
+      if (!joined_[t]) continue;
+      std::vector<uint32_t> next(keep.size());
+      for (size_t x = 0; x < keep.size(); ++x) {
+        next[x] = matrix_[t][keep[x]];
+      }
+      matrix_[t] = std::move(next);
+      intermediate_bytes_ += keep.size() * sizeof(uint32_t);
+    }
+    rows_ = keep.size();
+    return Status::OK();
+  }
+
+  // ---- grouping: group-id vector built key by key -------------------------
+  Status GroupPhase() {
+    group_ids_.assign(rows_, 0);
+    num_groups_ = 1;
+    for (ColRef g : q_.group_by) {
+      const ColumnData& col = tables_[g.table]->columns[g.column];
+      // Refine group ids with this key column (MonetDB group.derive style).
+      std::map<std::pair<uint64_t, std::string>, uint32_t> refine;
+      std::vector<uint32_t> next(rows_);
+      for (uint64_t i = 0; i < rows_; ++i) {
+        uint32_t row = matrix_[g.table][i];
+        std::string key;
+        switch (col.type.id) {
+          case TypeId::kInt32:
+          case TypeId::kDate:
+            key.assign(reinterpret_cast<const char*>(&col.i32[row]), 4);
+            break;
+          case TypeId::kInt64:
+            key.assign(reinterpret_cast<const char*>(&col.i64[row]), 8);
+            break;
+          case TypeId::kDouble:
+            key.assign(reinterpret_cast<const char*>(&col.f64[row]), 8);
+            break;
+          case TypeId::kChar:
+            key.assign(col.CharAt(row), col.type.length);
+            break;
+        }
+        auto [it, inserted] = refine.try_emplace(
+            {group_ids_[i], std::move(key)},
+            static_cast<uint32_t>(refine.size()));
+        next[i] = it->second;
+      }
+      group_ids_ = std::move(next);
+      num_groups_ = static_cast<uint32_t>(refine.size());
+      intermediate_bytes_ += rows_ * sizeof(uint32_t);
+    }
+    if (q_.group_by.empty()) {
+      num_groups_ = rows_ > 0 ? 1 : 1;  // scalar aggregation: one group
+      group_rep_.assign(1, 0);
+    }
+    // Representative intermediate row per group (for key emission).
+    group_rep_.assign(num_groups_, 0);
+    for (uint64_t i = 0; i < rows_; ++i) {
+      group_rep_[group_ids_[i]] = static_cast<uint32_t>(i);
+    }
+
+    // Aggregates: evaluate argument column-wise, then scatter by group id.
+    const auto& aggs = q_.aggs;
+    agg_out_.assign(aggs.size(), {});
+    agg_cnt_.assign(num_groups_, 0);
+    for (uint64_t i = 0; i < rows_; ++i) ++agg_cnt_[group_ids_[i]];
+    for (size_t a = 0; a < aggs.size(); ++a) {
+      agg_out_[a].assign(num_groups_, 0);
+      if (!aggs[a].arg) continue;
+      std::vector<double> arg = EvalArg(*aggs[a].arg);
+      intermediate_bytes_ += arg.size() * sizeof(double);
+      std::vector<bool> seen(num_groups_, false);
+      for (uint64_t i = 0; i < rows_; ++i) {
+        uint32_t gid = group_ids_[i];
+        double v = arg[i];
+        switch (aggs[a].func) {
+          case AggFunc::kSum:
+          case AggFunc::kAvg:
+            agg_out_[a][gid] += v;
+            break;
+          case AggFunc::kMin:
+            if (!seen[gid] || v < agg_out_[a][gid]) agg_out_[a][gid] = v;
+            break;
+          case AggFunc::kMax:
+            if (!seen[gid] || v > agg_out_[a][gid]) agg_out_[a][gid] = v;
+            break;
+          case AggFunc::kCount:
+            break;
+        }
+        seen[gid] = true;
+      }
+    }
+    return Status::OK();
+  }
+
+  /// Column-wise evaluation of a scalar over the intermediate: gather the
+  /// leaf columns, then combine with vectorized loops (one materialized
+  /// array per operator node).
+  std::vector<double> EvalArg(const sql::ScalarExpr& e) {
+    switch (e.kind) {
+      case sql::ScalarKind::kColumn: {
+        const ColumnData& col = tables_[e.column.table]->columns[e.column.column];
+        return GatherNumeric(col, matrix_[e.column.table]);
+      }
+      case sql::ScalarKind::kLiteral: {
+        return std::vector<double>(rows_, e.literal.AsDouble());
+      }
+      case sql::ScalarKind::kArith: {
+        std::vector<double> l = EvalArg(*e.left);
+        std::vector<double> r = EvalArg(*e.right);
+        std::vector<double> out(rows_);
+        switch (e.op) {
+          case '+':
+            for (uint64_t i = 0; i < rows_; ++i) out[i] = l[i] + r[i];
+            break;
+          case '-':
+            for (uint64_t i = 0; i < rows_; ++i) out[i] = l[i] - r[i];
+            break;
+          case '*':
+            for (uint64_t i = 0; i < rows_; ++i) out[i] = l[i] * r[i];
+            break;
+          case '/':
+            for (uint64_t i = 0; i < rows_; ++i) {
+              out[i] = r[i] == 0 ? 0 : l[i] / r[i];
+            }
+            break;
+        }
+        intermediate_bytes_ += out.size() * sizeof(double);
+        return out;
+      }
+    }
+    return {};
+  }
+
+  // ---- output -------------------------------------------------------------
+  Result<std::unique_ptr<Table>> OutputPhase() {
+    Schema os = q_.OutputSchema();
+    auto result = std::make_unique<Table>("result", os);
+    bool grouped = q_.HasAggregation();
+    uint64_t out_n = grouped ? num_groups_ : rows_;
+    if (grouped && rows_ == 0 && !q_.group_by.empty()) out_n = 0;
+
+    // Build boxed rows (output is tiny relative to the scan work).
+    std::vector<std::vector<Value>> rows;
+    rows.reserve(out_n);
+    for (uint64_t i = 0; i < out_n; ++i) {
+      std::vector<Value> row;
+      for (const auto& out : q_.outputs) {
+        switch (out.kind) {
+          case sql::OutputCol::Kind::kGroupKey: {
+            ColRef g = q_.group_by[out.index];
+            uint32_t irow = group_rep_[i];
+            row.push_back(ValueAt(g, matrix_[g.table][irow]));
+            break;
+          }
+          case sql::OutputCol::Kind::kAggregate: {
+            const sql::AggSpec& spec = q_.aggs[out.index];
+            double v = agg_out_[out.index][i];
+            switch (spec.func) {
+              case AggFunc::kCount:
+                row.push_back(Value::Int64(agg_cnt_[i]));
+                break;
+              case AggFunc::kAvg:
+                row.push_back(Value::Double(
+                    agg_cnt_[i] == 0 ? 0 : v / agg_cnt_[i]));
+                break;
+              case AggFunc::kSum:
+                if (spec.out_type.id == TypeId::kDouble) {
+                  row.push_back(Value::Double(v));
+                } else {
+                  row.push_back(Value::Int64(static_cast<int64_t>(v)));
+                }
+                break;
+              case AggFunc::kMin:
+              case AggFunc::kMax:
+                switch (spec.out_type.id) {
+                  case TypeId::kInt32:
+                    row.push_back(Value::Int32(static_cast<int32_t>(v)));
+                    break;
+                  case TypeId::kDate:
+                    row.push_back(Value::Date(static_cast<int32_t>(v)));
+                    break;
+                  case TypeId::kInt64:
+                    row.push_back(Value::Int64(static_cast<int64_t>(v)));
+                    break;
+                  default:
+                    row.push_back(Value::Double(v));
+                }
+                break;
+            }
+            break;
+          }
+          case sql::OutputCol::Kind::kScalar: {
+            if (out.scalar->kind == sql::ScalarKind::kColumn) {
+              ColRef c = out.scalar->column;
+              row.push_back(ValueAt(c, matrix_[c.table][i]));
+            } else {
+              // Numeric expression over intermediate row i.
+              double v = EvalScalarAt(*out.scalar, i);
+              if (out.type.id == TypeId::kDouble) {
+                row.push_back(Value::Double(v));
+              } else if (out.type.id == TypeId::kInt64) {
+                row.push_back(Value::Int64(static_cast<int64_t>(v)));
+              } else {
+                row.push_back(Value::Int32(static_cast<int32_t>(v)));
+              }
+            }
+            break;
+          }
+        }
+      }
+      rows.push_back(std::move(row));
+    }
+
+    if (!q_.order_by.empty()) {
+      std::stable_sort(rows.begin(), rows.end(),
+                       [&](const auto& a, const auto& b) {
+                         for (const auto& spec : q_.order_by) {
+                           int c = a[spec.output_index].Compare(
+                               b[spec.output_index]);
+                           if (c != 0) return spec.desc ? c > 0 : c < 0;
+                         }
+                         return false;
+                       });
+    }
+    if (q_.limit >= 0 && rows.size() > static_cast<size_t>(q_.limit)) {
+      rows.resize(static_cast<size_t>(q_.limit));
+    }
+    for (const auto& row : rows) {
+      HQ_RETURN_IF_ERROR(result->AppendRow(row));
+    }
+    return result;
+  }
+
+  double EvalScalarAt(const sql::ScalarExpr& e, uint64_t i) {
+    switch (e.kind) {
+      case sql::ScalarKind::kColumn: {
+        const ColumnData& col =
+            tables_[e.column.table]->columns[e.column.column];
+        uint32_t row = matrix_[e.column.table][i];
+        switch (col.type.id) {
+          case TypeId::kInt32:
+          case TypeId::kDate:
+            return col.i32[row];
+          case TypeId::kInt64:
+            return static_cast<double>(col.i64[row]);
+          case TypeId::kDouble:
+            return col.f64[row];
+          case TypeId::kChar:
+            return 0;
+        }
+        return 0;
+      }
+      case sql::ScalarKind::kLiteral:
+        return e.literal.AsDouble();
+      case sql::ScalarKind::kArith: {
+        double l = EvalScalarAt(*e.left, i);
+        double r = EvalScalarAt(*e.right, i);
+        switch (e.op) {
+          case '+':
+            return l + r;
+          case '-':
+            return l - r;
+          case '*':
+            return l * r;
+          case '/':
+            return r == 0 ? 0 : l / r;
+        }
+        return 0;
+      }
+    }
+    return 0;
+  }
+
+  Value ValueAt(ColRef c, uint32_t row) {
+    const ColumnData& col = tables_[c.table]->columns[c.column];
+    switch (col.type.id) {
+      case TypeId::kInt32:
+        return Value::Int32(col.i32[row]);
+      case TypeId::kDate:
+        return Value::Date(col.i32[row]);
+      case TypeId::kInt64:
+        return Value::Int64(col.i64[row]);
+      case TypeId::kDouble:
+        return Value::Double(col.f64[row]);
+      case TypeId::kChar:
+        return Value::Char(std::string(col.CharAt(row), col.type.length),
+                           col.type.length);
+    }
+    return Value();
+  }
+
+  const BoundQuery& q_;
+  std::vector<const ColumnTable*> tables_;
+  std::vector<std::vector<uint32_t>> selections_;
+  std::vector<std::vector<uint32_t>> matrix_;
+  std::vector<bool> joined_;
+  uint64_t rows_ = 0;
+  std::vector<uint32_t> group_ids_;
+  std::vector<uint32_t> group_rep_;
+  uint32_t num_groups_ = 0;
+  std::vector<std::vector<double>> agg_out_;
+  std::vector<int64_t> agg_cnt_;
+  uint64_t intermediate_bytes_ = 0;
+};
+
+}  // namespace
+
+Result<const ColumnTable*> ColumnEngine::Decompose(
+    const std::string& table_name) {
+  auto it = cache_.find(table_name);
+  if (it != cache_.end()) return it->second.get();
+  HQ_ASSIGN_OR_RETURN(Table * table, catalog_->GetTable(table_name));
+  auto ct = std::make_unique<ColumnTable>();
+  const Schema& schema = table->schema();
+  ct->columns.resize(schema.NumColumns());
+  ct->rows = table->NumTuples();
+  for (size_t c = 0; c < schema.NumColumns(); ++c) {
+    ColumnData& col = ct->columns[c];
+    col.type = schema.ColumnAt(c).type;
+    switch (col.type.id) {
+      case TypeId::kInt32:
+      case TypeId::kDate:
+        col.i32.reserve(ct->rows);
+        break;
+      case TypeId::kInt64:
+        col.i64.reserve(ct->rows);
+        break;
+      case TypeId::kDouble:
+        col.f64.reserve(ct->rows);
+        break;
+      case TypeId::kChar:
+        col.chars.reserve(ct->rows * col.type.length);
+        break;
+    }
+  }
+  HQ_RETURN_IF_ERROR(table->ForEachTuple([&](const uint8_t* tuple) {
+    for (size_t c = 0; c < schema.NumColumns(); ++c) {
+      ColumnData& col = ct->columns[c];
+      const uint8_t* p = tuple + schema.OffsetAt(c);
+      switch (col.type.id) {
+        case TypeId::kInt32:
+        case TypeId::kDate: {
+          int32_t v;
+          std::memcpy(&v, p, 4);
+          col.i32.push_back(v);
+          break;
+        }
+        case TypeId::kInt64: {
+          int64_t v;
+          std::memcpy(&v, p, 8);
+          col.i64.push_back(v);
+          break;
+        }
+        case TypeId::kDouble: {
+          double v;
+          std::memcpy(&v, p, 8);
+          col.f64.push_back(v);
+          break;
+        }
+        case TypeId::kChar:
+          col.chars.insert(col.chars.end(),
+                           reinterpret_cast<const char*>(p),
+                           reinterpret_cast<const char*>(p) + col.type.length);
+          break;
+      }
+    }
+  }));
+  const ColumnTable* raw = ct.get();
+  cache_[table_name] = std::move(ct);
+  return raw;
+}
+
+Result<ColumnResult> ColumnEngine::Query(const std::string& sql) {
+  WallTimer timer;
+  HQ_ASSIGN_OR_RETURN(auto bound, sql::ParseAndBind(sql, *catalog_));
+  std::vector<const ColumnTable*> tables;
+  for (size_t t = 0; t < bound->tables.size(); ++t) {
+    HQ_ASSIGN_OR_RETURN(const ColumnTable* ct,
+                        Decompose(bound->tables[t]->name()));
+    tables.push_back(ct);
+  }
+  ColumnExecutor executor(*bound, std::move(tables));
+  ColumnResult result;
+  HQ_ASSIGN_OR_RETURN(result.table, executor.Run());
+  result.intermediate_bytes = executor.intermediate_bytes();
+  result.total_seconds = timer.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace hique::col

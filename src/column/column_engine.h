@@ -1,0 +1,62 @@
+#ifndef HIQUE_COLUMN_COLUMN_ENGINE_H_
+#define HIQUE_COLUMN_COLUMN_ENGINE_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sql/bound.h"
+#include "storage/catalog.h"
+#include "util/status.h"
+
+namespace hique::col {
+
+/// A decomposed (DSM) copy of one table: one typed array per column.
+/// CHAR(N) columns are stored as N-byte slots back to back.
+struct ColumnData {
+  Type type;
+  std::vector<int32_t> i32;
+  std::vector<int64_t> i64;
+  std::vector<double> f64;
+  std::vector<char> chars;
+
+  const char* CharAt(uint64_t row) const {
+    return chars.data() + row * type.length;
+  }
+};
+
+struct ColumnTable {
+  std::vector<ColumnData> columns;
+  uint64_t rows = 0;
+};
+
+struct ColumnResult {
+  std::unique_ptr<Table> table;  // NSM result for uniform comparison
+  double total_seconds = 0;
+  uint64_t intermediate_bytes = 0;  // materialization volume (DSM tax/win)
+};
+
+/// Column-at-a-time engine in the architectural style of MonetDB (paper
+/// §VI-C baseline): vertical decomposition, operators that consume and
+/// produce fully materialized arrays (selection vectors, join indexes,
+/// group-id vectors). No code generation, no pipelining.
+class ColumnEngine {
+ public:
+  explicit ColumnEngine(Catalog* catalog) : catalog_(catalog) {}
+
+  /// Converts (and caches) the DSM image of a table. Conversion cost is the
+  /// loading cost MonetDB pays at import time, so benchmarks call this
+  /// before timing queries.
+  Result<const ColumnTable*> Decompose(const std::string& table_name);
+
+  Result<ColumnResult> Query(const std::string& sql);
+
+ private:
+  Catalog* catalog_;
+  std::unordered_map<std::string, std::unique_ptr<ColumnTable>> cache_;
+};
+
+}  // namespace hique::col
+
+#endif  // HIQUE_COLUMN_COLUMN_ENGINE_H_

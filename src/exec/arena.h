@@ -1,0 +1,62 @@
+#ifndef HIQUE_EXEC_ARENA_H_
+#define HIQUE_EXEC_ARENA_H_
+
+#include <cstdint>
+#include <cstdlib>
+#include <vector>
+
+namespace hique {
+
+/// Bump allocator backing all scratch memory of one query execution
+/// (staging buffers, partitions, directories). Generated code allocates
+/// through the HqQueryCtx callback and never frees; the whole arena is
+/// released when the query finishes.
+class Arena {
+ public:
+  Arena() = default;
+  ~Arena() {
+    for (void* b : blocks_) std::free(b);
+  }
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// 64-byte aligned allocation; returns nullptr on OOM.
+  void* Allocate(uint64_t bytes) {
+    if (bytes == 0) bytes = 1;
+    bytes = (bytes + 63) & ~uint64_t{63};
+    if (current_ == nullptr || used_ + bytes > capacity_) {
+      uint64_t block = bytes > kBlockSize ? bytes : kBlockSize;
+      void* mem = nullptr;
+      if (posix_memalign(&mem, 64, block) != 0 || mem == nullptr) {
+        return nullptr;
+      }
+      blocks_.push_back(mem);
+      current_ = static_cast<uint8_t*>(mem);
+      capacity_ = block;
+      used_ = 0;
+    }
+    void* p = current_ + used_;
+    used_ += bytes;
+    total_ += bytes;
+    return p;
+  }
+
+  uint64_t total_allocated() const { return total_; }
+
+  /// C callback adapter for HqQueryCtx::alloc.
+  static void* AllocCallback(void* arena, uint64_t bytes) {
+    return static_cast<Arena*>(arena)->Allocate(bytes);
+  }
+
+ private:
+  static constexpr uint64_t kBlockSize = 4ull << 20;
+  std::vector<void*> blocks_;
+  uint8_t* current_ = nullptr;
+  uint64_t capacity_ = 0;
+  uint64_t used_ = 0;
+  uint64_t total_ = 0;
+};
+
+}  // namespace hique
+
+#endif  // HIQUE_EXEC_ARENA_H_

@@ -1,0 +1,62 @@
+#include "exec/compiler.h"
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdlib>
+
+#include "util/env.h"
+#include "util/timer.h"
+
+#ifndef HIQUE_RUNTIME_CXX
+#define HIQUE_RUNTIME_CXX "g++"
+#endif
+
+namespace hique::exec {
+
+std::string RuntimeCompilerPath() {
+  const char* env = std::getenv("HIQUE_CXX");
+  if (env != nullptr && env[0] != '\0') return env;
+  return HIQUE_RUNTIME_CXX;
+}
+
+Result<CompileResult> CompileToSharedLibrary(const std::string& source,
+                                             const std::string& dir,
+                                             const std::string& name,
+                                             const CompileOptions& options) {
+  HQ_RETURN_IF_ERROR(env::MakeDirs(dir));
+  CompileResult result;
+  result.source_path = dir + "/" + name + ".cc";
+  result.library_path = dir + "/" + name + ".so";
+  HQ_RETURN_IF_ERROR(env::WriteFile(result.source_path, source));
+  result.source_bytes = static_cast<int64_t>(source.size());
+
+  std::string log_path = dir + "/" + name + ".log";
+  std::string cmd = RuntimeCompilerPath() + " -shared -fPIC -w -O" +
+                    std::to_string(options.opt_level) + " " +
+                    options.extra_flags + (options.extra_flags.empty() ? "" : " ") +
+                    "-o " + result.library_path + " " + result.source_path +
+                    " 2> " + log_path;
+
+  WallTimer timer;
+  int rc = std::system(cmd.c_str());
+  result.compile_seconds = timer.ElapsedSeconds();
+  bool failed = rc == -1 || !WIFEXITED(rc) || WEXITSTATUS(rc) != 0;
+  if (failed) {
+    std::string log;
+    auto log_result = env::ReadFile(log_path);
+    if (log_result.ok()) log = log_result.value();
+    if (log.size() > 4000) log.resize(4000);
+    return Status::CompileError("runtime compilation failed:\n" + cmd +
+                                "\n" + log);
+  }
+  HQ_ASSIGN_OR_RETURN(result.library_bytes,
+                      env::FileSize(result.library_path));
+  if (!options.keep_source) {
+    (void)env::RemoveFile(result.source_path);
+  }
+  (void)env::RemoveFile(log_path);
+  return result;
+}
+
+}  // namespace hique::exec

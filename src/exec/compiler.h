@@ -1,0 +1,41 @@
+#ifndef HIQUE_EXEC_COMPILER_H_
+#define HIQUE_EXEC_COMPILER_H_
+
+#include <string>
+
+#include "util/status.h"
+
+namespace hique::exec {
+
+/// Options for runtime compilation of generated query code (paper §IV: a
+/// system call invokes the compiler to build a shared library which is then
+/// dynamically linked).
+struct CompileOptions {
+  int opt_level = 2;           // -O<level>; the paper sweeps -O0 vs -O2
+  bool keep_source = true;     // keep the .cc next to the .so (Table III)
+  std::string extra_flags;     // appended verbatim
+};
+
+struct CompileResult {
+  std::string source_path;
+  std::string library_path;
+  int64_t source_bytes = 0;
+  int64_t library_bytes = 0;
+  double compile_seconds = 0;
+};
+
+/// Writes `source` to `<dir>/<name>.cc` and compiles it to
+/// `<dir>/<name>.so` with the configured system compiler
+/// (`-shared -fPIC -O<level>`).
+Result<CompileResult> CompileToSharedLibrary(const std::string& source,
+                                             const std::string& dir,
+                                             const std::string& name,
+                                             const CompileOptions& options);
+
+/// The compiler binary used (build-time CMAKE_CXX_COMPILER, overridable via
+/// the HIQUE_CXX environment variable).
+std::string RuntimeCompilerPath();
+
+}  // namespace hique::exec
+
+#endif  // HIQUE_EXEC_COMPILER_H_

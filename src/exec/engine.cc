@@ -1,0 +1,161 @@
+#include "exec/engine.h"
+
+#include <sstream>
+
+#include "codegen/generator.h"
+#include "sql/binder.h"
+#include "sql/parser.h"
+#include "util/env.h"
+#include "util/timer.h"
+
+namespace hique {
+
+std::vector<std::vector<Value>> QueryResult::Rows() const {
+  std::vector<std::vector<Value>> rows;
+  if (!table) return rows;
+  rows.reserve(table->NumTuples());
+  const Schema& s = table->schema();
+  (void)table->ForEachTuple([&](const uint8_t* tuple) {
+    std::vector<Value> row;
+    row.reserve(s.NumColumns());
+    for (size_t c = 0; c < s.NumColumns(); ++c) {
+      row.push_back(s.GetValue(tuple, c));
+    }
+    rows.push_back(std::move(row));
+  });
+  return rows;
+}
+
+std::string QueryResult::ToString(size_t max_rows) const {
+  std::ostringstream out;
+  for (size_t c = 0; c < schema.NumColumns(); ++c) {
+    if (c) out << "\t";
+    out << schema.ColumnAt(c).name;
+  }
+  out << "\n";
+  size_t shown = 0;
+  for (const auto& row : Rows()) {
+    if (shown++ >= max_rows) {
+      out << "... (" << NumRows() << " rows total)\n";
+      break;
+    }
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (c) out << "\t";
+      out << row[c].ToString();
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+HiqueEngine::HiqueEngine(Catalog* catalog, EngineOptions options)
+    : catalog_(catalog), options_(std::move(options)) {
+  if (options_.gen_dir.empty()) {
+    options_.gen_dir = env::ProcessTempDir() + "/gen";
+  }
+}
+
+Result<QueryResult> HiqueEngine::Query(const std::string& sql) {
+  return Run(sql, options_.planner, options_.cache_compiled);
+}
+
+Result<QueryResult> HiqueEngine::QueryWithPlanner(
+    const std::string& sql, const plan::PlannerOptions& planner) {
+  // Planner overrides bypass the compiled-query cache: the cache key is the
+  // SQL text alone.
+  return Run(sql, planner, /*cacheable=*/false);
+}
+
+Result<HiqueEngine::CachedQuery> HiqueEngine::Prepare(
+    const std::string& sql, const plan::PlannerOptions& planner,
+    bool force_hybrid_agg) {
+  CachedQuery prepared;
+  WallTimer timer;
+
+  HQ_ASSIGN_OR_RETURN(auto stmt, sql::Parse(sql));
+  prepared.prep_timings.parse_ms = timer.ElapsedMillis();
+
+  timer.Restart();
+  HQ_ASSIGN_OR_RETURN(auto bound, sql::Bind(*stmt, *catalog_));
+  plan::PlannerOptions effective = planner;
+  if (force_hybrid_agg) {
+    effective.force_agg_algo = plan::AggAlgo::kHybridHashSort;
+  }
+  HQ_ASSIGN_OR_RETURN(prepared.plan,
+                      plan::Optimize(std::move(bound), effective));
+  prepared.prep_timings.optimize_ms = timer.ElapsedMillis();
+
+  timer.Restart();
+  HQ_ASSIGN_OR_RETURN(auto generated, codegen::Generate(*prepared.plan));
+  prepared.prep_timings.generate_ms = timer.ElapsedMillis();
+  prepared.entry_symbol = generated.entry_symbol;
+  if (options_.keep_source) prepared.source = generated.source;
+
+  std::string name = "q" + std::to_string(next_query_id_++);
+  HQ_ASSIGN_OR_RETURN(
+      prepared.compiled,
+      exec::CompileToSharedLibrary(generated.source, options_.gen_dir, name,
+                                   options_.compile));
+  prepared.prep_timings.compile_ms = prepared.compiled.compile_seconds * 1e3;
+  return prepared;
+}
+
+Result<QueryResult> HiqueEngine::Run(const std::string& sql,
+                                     const plan::PlannerOptions& planner,
+                                     bool cacheable) {
+  // Compiled-query cache (paper §VI-D: systems store pre-compiled versions
+  // of recently issued queries; the binaries are small).
+  CachedQuery* cached = nullptr;
+  const std::string& key = sql;
+  auto it = cache_.find(key);
+  if (cacheable && it != cache_.end()) {
+    cached = &it->second;
+  }
+  CachedQuery local;
+  if (cached == nullptr) {
+    auto prepared = Prepare(sql, planner, /*force_hybrid_agg=*/false);
+    if (!prepared.ok()) return prepared.status();
+    local = std::move(prepared).value();
+    cached = &local;
+  }
+
+  QueryResult result;
+  result.timings = cached->prep_timings;
+  result.plan_text = cached->plan->ToString();
+  result.generated_source = cached->source;
+  result.source_bytes = cached->compiled.source_bytes;
+  result.library_bytes = cached->compiled.library_bytes;
+
+  WallTimer timer;
+  auto table = exec::ExecuteCompiled(*cached->plan,
+                                     cached->compiled.library_path,
+                                     cached->entry_symbol, &result.exec_stats);
+  if (!table.ok() && exec::IsMapOverflow(table.status())) {
+    // Statistics were stale: directories overflowed. Re-plan with hybrid
+    // hash-sort aggregation and retry once.
+    auto prepared = Prepare(sql, planner, /*force_hybrid_agg=*/true);
+    if (!prepared.ok()) return prepared.status();
+    local = std::move(prepared).value();
+    cached = &local;
+    result.timings = cached->prep_timings;
+    result.plan_text = cached->plan->ToString();
+    result.generated_source = cached->source;
+    result.source_bytes = cached->compiled.source_bytes;
+    result.library_bytes = cached->compiled.library_bytes;
+    timer.Restart();
+    table = exec::ExecuteCompiled(*cached->plan,
+                                  cached->compiled.library_path,
+                                  cached->entry_symbol, &result.exec_stats);
+  }
+  if (!table.ok()) return table.status();
+  result.timings.execute_ms = timer.ElapsedMillis();
+  result.table = std::move(table).value();
+  result.schema = result.table->schema();
+
+  if (cacheable && cached == &local) {
+    cache_.emplace(key, std::move(local));
+  }
+  return result;
+}
+
+}  // namespace hique

@@ -1,0 +1,100 @@
+#ifndef HIQUE_EXEC_ENGINE_H_
+#define HIQUE_EXEC_ENGINE_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "exec/compiler.h"
+#include "exec/executor.h"
+#include "plan/optimizer.h"
+#include "storage/catalog.h"
+#include "util/status.h"
+
+namespace hique {
+
+/// Per-phase preparation cost (Table III in the paper) plus execution time.
+struct QueryTimings {
+  double parse_ms = 0;
+  double optimize_ms = 0;
+  double generate_ms = 0;
+  double compile_ms = 0;
+  double execute_ms = 0;
+};
+
+/// A fully evaluated query: result rows plus everything the paper reports
+/// about the run (preparation costs, generated artefact sizes, software
+/// counters).
+struct QueryResult {
+  Schema schema;
+  std::unique_ptr<Table> table;
+  QueryTimings timings;
+  int64_t source_bytes = 0;
+  int64_t library_bytes = 0;
+  std::string generated_source;  // kept when EngineOptions::keep_source
+  std::string plan_text;
+  exec::ExecStats exec_stats;
+
+  int64_t NumRows() const { return table ? static_cast<int64_t>(table->NumTuples()) : 0; }
+
+  /// Materializes all rows as boxed values (client-boundary convenience).
+  std::vector<std::vector<Value>> Rows() const;
+
+  /// Tab-separated rendering of up to `max_rows` rows.
+  std::string ToString(size_t max_rows = 20) const;
+};
+
+struct EngineOptions {
+  plan::PlannerOptions planner;
+  exec::CompileOptions compile;
+  bool keep_source = false;      // retain generated source text in results
+  bool cache_compiled = true;    // reuse compiled queries by SQL text
+  std::string gen_dir;           // defaults to a process temp dir
+};
+
+/// HIQUE: the holistic integrated query engine (paper §IV, Fig. 2).
+/// SQL -> parse -> optimize -> generate C++ -> compile -> dlopen -> run.
+class HiqueEngine {
+ public:
+  explicit HiqueEngine(Catalog* catalog, EngineOptions options = {});
+
+  Catalog* catalog() const { return catalog_; }
+  const EngineOptions& options() const { return options_; }
+
+  /// Evaluates one SELECT statement end to end.
+  Result<QueryResult> Query(const std::string& sql);
+
+  /// Same, with per-query planner overrides (used by the benchmarks to pin
+  /// specific algorithms, as the paper's §VI-B sweeps do).
+  Result<QueryResult> QueryWithPlanner(const std::string& sql,
+                                       const plan::PlannerOptions& planner);
+
+  /// Number of distinct compiled queries currently cached.
+  size_t CompiledCacheSize() const { return cache_.size(); }
+
+ private:
+  struct CachedQuery {
+    std::unique_ptr<plan::PhysicalPlan> plan;
+    exec::CompileResult compiled;
+    std::string entry_symbol;
+    QueryTimings prep_timings;
+    std::string source;
+  };
+
+  Result<QueryResult> Run(const std::string& sql,
+                          const plan::PlannerOptions& planner,
+                          bool cacheable);
+  Result<CachedQuery> Prepare(const std::string& sql,
+                              const plan::PlannerOptions& planner,
+                              bool force_hybrid_agg);
+
+  Catalog* catalog_;
+  EngineOptions options_;
+  std::unordered_map<std::string, CachedQuery> cache_;
+  uint64_t next_query_id_ = 0;
+};
+
+}  // namespace hique
+
+#endif  // HIQUE_EXEC_ENGINE_H_

@@ -1,0 +1,159 @@
+#include "exec/executor.h"
+
+#include <dlfcn.h>
+
+#include <cstdlib>
+#include <cstring>
+#include <vector>
+
+#include "codegen/runtime_abi.h"
+#include "exec/arena.h"
+#include "storage/page.h"
+#include "util/timer.h"
+
+namespace hique::exec {
+
+static_assert(sizeof(HqPage) == sizeof(Page),
+              "generated-code page layout must match the storage layer");
+
+namespace {
+
+constexpr const char* kMapOverflowMsg = "map aggregation directory overflow";
+
+struct ResultSink {
+  std::vector<Page*> pages;
+
+  static HqPage* NewPage(void* self) {
+    auto* sink = static_cast<ResultSink*>(self);
+    void* mem = nullptr;
+    if (posix_memalign(&mem, kPageSize, kPageSize) != 0 || mem == nullptr) {
+      return nullptr;
+    }
+    Page* page = static_cast<Page*>(mem);
+    page->Reset();
+    sink->pages.push_back(page);
+    return reinterpret_cast<HqPage*>(page);
+  }
+
+  void FreeAll() {
+    for (Page* p : pages) std::free(p);
+    pages.clear();
+  }
+};
+
+class DlHandle {
+ public:
+  explicit DlHandle(void* h) : handle_(h) {}
+  ~DlHandle() {
+    if (handle_ != nullptr) dlclose(handle_);
+  }
+  void* get() const { return handle_; }
+
+ private:
+  void* handle_;
+};
+
+}  // namespace
+
+bool IsMapOverflow(const Status& status) {
+  return !status.ok() && status.message() == kMapOverflowMsg;
+}
+
+Result<std::unique_ptr<Table>> ExecuteCompiled(const plan::PhysicalPlan& plan,
+                                               const std::string& library_path,
+                                               const std::string& entry_symbol,
+                                               ExecStats* stats) {
+  return ExecuteLibraryOnTables(plan.query->tables, plan.output_schema,
+                                library_path, entry_symbol, stats);
+}
+
+Result<std::unique_ptr<Table>> ExecuteLibraryOnTables(
+    const std::vector<Table*>& tables, const Schema& output_schema,
+    const std::string& library_path, const std::string& entry_symbol,
+    ExecStats* stats) {
+  DlHandle handle(dlopen(library_path.c_str(), RTLD_NOW | RTLD_LOCAL));
+  if (handle.get() == nullptr) {
+    return Status::ExecError(std::string("dlopen failed: ") + dlerror());
+  }
+  using EntryFn = int64_t (*)(HqQueryCtx*);
+  auto entry =
+      reinterpret_cast<EntryFn>(dlsym(handle.get(), entry_symbol.c_str()));
+  if (entry == nullptr) {
+    return Status::ExecError("entry symbol not found: " + entry_symbol);
+  }
+
+  // Pin every base table in memory (main-memory execution, paper §VI).
+  std::vector<PinnedPages> pinned(tables.size());
+  std::vector<std::vector<uint8_t*>> page_ptrs(tables.size());
+  std::vector<HqTableRef> refs(tables.size());
+  for (size_t t = 0; t < tables.size(); ++t) {
+    HQ_ASSIGN_OR_RETURN(pinned[t], tables[t]->Pin());
+    page_ptrs[t].reserve(pinned[t].pages().size());
+    for (Page* p : pinned[t].pages()) {
+      page_ptrs[t].push_back(reinterpret_cast<uint8_t*>(p));
+    }
+    refs[t].pages = page_ptrs[t].data();
+    refs[t].page_count = page_ptrs[t].size();
+    refs[t].tuple_size = tables[t]->tuple_size();
+    refs[t].tuples_per_page = tables[t]->tuples_per_page();
+    refs[t].tuple_count = tables[t]->NumTuples();
+  }
+
+  Arena arena;
+  ResultSink sink;
+  const Schema& out_schema = output_schema;
+
+  HqQueryCtx ctx;
+  std::memset(&ctx, 0, sizeof(ctx));
+  ctx.inputs = refs.data();
+  ctx.num_inputs = static_cast<uint32_t>(refs.size());
+  ctx.alloc = &Arena::AllocCallback;
+  ctx.arena = &arena;
+  ctx.result_new_page = &ResultSink::NewPage;
+  ctx.result_sink = &sink;
+  ctx.result_tuple_size = out_schema.TupleSize();
+  ctx.result_tuples_per_page = Page::TuplesPerPage(out_schema.TupleSize());
+
+  WallTimer timer;
+  int64_t rows = entry(&ctx);
+  double elapsed = timer.ElapsedSeconds();
+
+  if (rows < 0 || ctx.error != HQ_OK) {
+    sink.FreeAll();
+    switch (ctx.error) {
+      case HQ_ERR_MAP_OVERFLOW:
+        return Status::ExecError(kMapOverflowMsg);
+      case HQ_ERR_OOM:
+        return Status::ExecError("generated code ran out of memory");
+      default:
+        return Status::ExecError("generated code failed with error " +
+                                 std::to_string(ctx.error));
+    }
+  }
+
+  if (stats != nullptr) {
+    stats->rows = rows;
+    stats->execute_seconds = elapsed;
+    stats->pages_touched = ctx.pages_touched;
+    stats->tuples_emitted = ctx.tuples_emitted;
+    stats->helper_calls = ctx.helper_calls;
+    stats->arena_bytes = arena.total_allocated();
+  }
+
+  auto result = std::make_unique<Table>("result", out_schema);
+  for (size_t i = 0; i < sink.pages.size(); ++i) {
+    Status s = result->AdoptPage(sink.pages[i]);
+    if (!s.ok()) {
+      // Pages [0, i) now belong to the table; free only the rest.
+      for (size_t j = i; j < sink.pages.size(); ++j) {
+        std::free(sink.pages[j]);
+      }
+      sink.pages.clear();
+      return s;
+    }
+  }
+  sink.pages.clear();  // ownership transferred
+  return result;
+}
+
+}  // namespace hique::exec

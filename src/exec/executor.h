@@ -1,0 +1,48 @@
+#ifndef HIQUE_EXEC_EXECUTOR_H_
+#define HIQUE_EXEC_EXECUTOR_H_
+
+#include <memory>
+#include <string>
+
+#include "plan/physical.h"
+#include "storage/table.h"
+#include "util/status.h"
+
+namespace hique::exec {
+
+/// Execution statistics for one query run, including the deterministic
+/// software counters the generated code maintains (see DESIGN.md §2 on the
+/// OProfile substitution).
+struct ExecStats {
+  int64_t rows = 0;
+  double execute_seconds = 0;
+  uint64_t pages_touched = 0;
+  uint64_t tuples_emitted = 0;
+  uint64_t helper_calls = 0;
+  uint64_t arena_bytes = 0;
+};
+
+/// Returns true when the failure is the map-aggregation directory overflow
+/// signal (stale statistics); the engine reacts by re-planning with hybrid
+/// aggregation.
+bool IsMapOverflow(const Status& status);
+
+/// Loads `library_path`, resolves `entry_symbol`, pins all base tables in
+/// memory, runs the query and returns the result as an in-memory table with
+/// the plan's output schema.
+Result<std::unique_ptr<Table>> ExecuteCompiled(const plan::PhysicalPlan& plan,
+                                               const std::string& library_path,
+                                               const std::string& entry_symbol,
+                                               ExecStats* stats);
+
+/// Lower-level entry point: runs a compiled query library against an
+/// explicit table list (used by the §VI-A microbenchmark variants, which
+/// bypass the SQL front end).
+Result<std::unique_ptr<Table>> ExecuteLibraryOnTables(
+    const std::vector<Table*>& tables, const Schema& output_schema,
+    const std::string& library_path, const std::string& entry_symbol,
+    ExecStats* stats);
+
+}  // namespace hique::exec
+
+#endif  // HIQUE_EXEC_EXECUTOR_H_

@@ -1,0 +1,226 @@
+#include "iterator/expr_eval.h"
+
+#include <cstring>
+
+#include "util/macros.h"
+
+namespace hique::iter {
+namespace {
+
+// ---- generic path: per-type comparison through function pointers ---------
+// This is the interpretation overhead the paper attributes to generic
+// iterators: every field comparison is an indirect call on untyped bytes.
+
+using CompareFn = int (*)(const uint8_t*, const uint8_t*);
+
+template <typename T>
+int CompareTyped(const uint8_t* a, const uint8_t* b) {
+  T x, y;
+  std::memcpy(&x, a, sizeof(T));
+  std::memcpy(&y, b, sizeof(T));
+  if (x < y) return -1;
+  if (x > y) return 1;
+  return 0;
+}
+
+CompareFn CompareFnFor(TypeId id) {
+  switch (id) {
+    case TypeId::kInt32:
+    case TypeId::kDate:
+      return &CompareTyped<int32_t>;
+    case TypeId::kInt64:
+      return &CompareTyped<int64_t>;
+    case TypeId::kDouble:
+      return &CompareTyped<double>;
+    case TypeId::kChar:
+      return nullptr;  // handled via memcmp with length
+  }
+  return nullptr;
+}
+
+// Marked noinline: in generic mode these calls model the virtual dispatch a
+// generic iterator implementation pays per field access.
+__attribute__((noinline)) int GenericCompare(const uint8_t* a,
+                                             const uint8_t* b, Type type) {
+  if (type.id == TypeId::kChar) {
+    int c = std::memcmp(a, b, type.length);
+    return c < 0 ? -1 : (c > 0 ? 1 : 0);
+  }
+  return CompareFnFor(type.id)(a, b);
+}
+
+__attribute__((noinline)) double GenericLoadNumeric(const uint8_t* p,
+                                                    TypeId id) {
+  switch (id) {
+    case TypeId::kInt32:
+    case TypeId::kDate: {
+      int32_t v;
+      std::memcpy(&v, p, 4);
+      return static_cast<double>(v);
+    }
+    case TypeId::kInt64: {
+      int64_t v;
+      std::memcpy(&v, p, 8);
+      return static_cast<double>(v);
+    }
+    case TypeId::kDouble: {
+      double v;
+      std::memcpy(&v, p, 8);
+      return v;
+    }
+    case TypeId::kChar:
+      return 0;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int CompareField(Mode mode, const uint8_t* a, const uint8_t* b,
+                 uint32_t offset, Type type, IterStats* stats) {
+  const uint8_t* pa = a + offset;
+  const uint8_t* pb = b + offset;
+  if (mode == Mode::kGeneric) {
+    ++stats->function_calls;
+    return GenericCompare(pa, pb, type);
+  }
+  // Optimized: type-specialized inline comparison.
+  switch (type.id) {
+    case TypeId::kInt32:
+    case TypeId::kDate: {
+      int32_t x, y;
+      std::memcpy(&x, pa, 4);
+      std::memcpy(&y, pb, 4);
+      return x < y ? -1 : (x > y ? 1 : 0);
+    }
+    case TypeId::kInt64: {
+      int64_t x, y;
+      std::memcpy(&x, pa, 8);
+      std::memcpy(&y, pb, 8);
+      return x < y ? -1 : (x > y ? 1 : 0);
+    }
+    case TypeId::kDouble: {
+      double x, y;
+      std::memcpy(&x, pa, 8);
+      std::memcpy(&y, pb, 8);
+      return x < y ? -1 : (x > y ? 1 : 0);
+    }
+    case TypeId::kChar: {
+      int c = std::memcmp(pa, pb, type.length);
+      return c < 0 ? -1 : (c > 0 ? 1 : 0);
+    }
+  }
+  return 0;
+}
+
+double EvalNumeric(Mode mode, const sql::ScalarExpr& expr, const uint8_t* rec,
+                   const plan::RecordLayout& layout, IterStats* stats) {
+  switch (expr.kind) {
+    case sql::ScalarKind::kColumn: {
+      int idx = layout.FindField(expr.column);
+      HQ_DCHECK(idx >= 0);
+      const uint8_t* p = rec + layout.OffsetOf(idx);
+      if (mode == Mode::kGeneric) {
+        ++stats->function_calls;
+        return GenericLoadNumeric(p, expr.type.id);
+      }
+      switch (expr.type.id) {
+        case TypeId::kInt32:
+        case TypeId::kDate: {
+          int32_t v;
+          std::memcpy(&v, p, 4);
+          return v;
+        }
+        case TypeId::kInt64: {
+          int64_t v;
+          std::memcpy(&v, p, 8);
+          return static_cast<double>(v);
+        }
+        case TypeId::kDouble: {
+          double v;
+          std::memcpy(&v, p, 8);
+          return v;
+        }
+        case TypeId::kChar:
+          return 0;
+      }
+      return 0;
+    }
+    case sql::ScalarKind::kLiteral:
+      return expr.literal.AsDouble();
+    case sql::ScalarKind::kArith: {
+      double l = EvalNumeric(mode, *expr.left, rec, layout, stats);
+      double r = EvalNumeric(mode, *expr.right, rec, layout, stats);
+      if (mode == Mode::kGeneric) ++stats->function_calls;
+      switch (expr.op) {
+        case '+':
+          return l + r;
+        case '-':
+          return l - r;
+        case '*':
+          return l * r;
+        case '/':
+          return r == 0 ? 0 : l / r;
+      }
+      return 0;
+    }
+  }
+  return 0;
+}
+
+bool EvalFilter(Mode mode, const sql::Filter& filter, const uint8_t* tuple,
+                const Schema& schema, IterStats* stats) {
+  Type type = schema.ColumnAt(filter.column.column).type;
+  uint32_t off = schema.OffsetAt(filter.column.column);
+  int cmp;
+  if (filter.rhs_is_column) {
+    uint32_t roff = schema.OffsetAt(filter.rhs_column.column);
+    cmp = CompareField(mode, tuple + off, tuple + roff, 0, type, stats);
+  } else {
+    // Compare against the literal's canonical byte image.
+    uint8_t lit[256];
+    switch (type.id) {
+      case TypeId::kInt32:
+      case TypeId::kDate: {
+        int32_t v = filter.literal.AsInt32();
+        std::memcpy(lit, &v, 4);
+        break;
+      }
+      case TypeId::kInt64: {
+        int64_t v = filter.literal.AsInt64();
+        std::memcpy(lit, &v, 8);
+        break;
+      }
+      case TypeId::kDouble: {
+        double v = filter.literal.AsDouble();
+        std::memcpy(lit, &v, 8);
+        break;
+      }
+      case TypeId::kChar: {
+        const std::string& s = filter.literal.AsString();
+        size_t n = s.size() < type.length ? s.size() : type.length;
+        std::memcpy(lit, s.data(), n);
+        if (n < type.length) std::memset(lit + n, ' ', type.length - n);
+        break;
+      }
+    }
+    cmp = CompareField(mode, tuple + off, lit, 0, type, stats);
+  }
+  switch (filter.op) {
+    case sql::CmpOp::kEq:
+      return cmp == 0;
+    case sql::CmpOp::kNe:
+      return cmp != 0;
+    case sql::CmpOp::kLt:
+      return cmp < 0;
+    case sql::CmpOp::kLe:
+      return cmp <= 0;
+    case sql::CmpOp::kGt:
+      return cmp > 0;
+    case sql::CmpOp::kGe:
+      return cmp >= 0;
+  }
+  return false;
+}
+
+}  // namespace hique::iter

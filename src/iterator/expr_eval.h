@@ -1,0 +1,44 @@
+#ifndef HIQUE_ITERATOR_EXPR_EVAL_H_
+#define HIQUE_ITERATOR_EXPR_EVAL_H_
+
+#include <cstdint>
+
+#include "plan/physical.h"
+#include "sql/bound.h"
+
+namespace hique::iter {
+
+/// Interpretation mode for the Volcano engine (paper §VI-A):
+///  - kGeneric: predicates and expressions evaluated through per-type
+///    function pointers over boxed values — the "generic iterators" baseline
+///    (PostgreSQL-style).
+///  - kOptimized: type-specialized inline evaluation — the "optimized
+///    iterators" baseline. Still interpreted per tuple, but without boxing.
+enum class Mode { kGeneric, kOptimized };
+
+/// Per-run interpretation counters (the software stand-ins for the paper's
+/// OProfile function-call and data-access columns).
+struct IterStats {
+  uint64_t iterator_calls = 0;   // open/next/close invocations
+  uint64_t function_calls = 0;   // indirect predicate/compare/eval calls
+  uint64_t tuples_processed = 0;
+  uint64_t rows = 0;
+  double execute_seconds = 0;
+};
+
+/// Three-way comparison of a field between two records, dispatched by mode.
+int CompareField(Mode mode, const uint8_t* a, const uint8_t* b,
+                 uint32_t offset, Type type, IterStats* stats);
+
+/// Numeric evaluation of a bound scalar over a record (aggregate arguments,
+/// projections). Result is double (wide enough for all numeric types).
+double EvalNumeric(Mode mode, const sql::ScalarExpr& expr, const uint8_t* rec,
+                   const plan::RecordLayout& layout, IterStats* stats);
+
+/// Evaluates a single-table filter against a base-schema tuple.
+bool EvalFilter(Mode mode, const sql::Filter& filter, const uint8_t* tuple,
+                const Schema& schema, IterStats* stats);
+
+}  // namespace hique::iter
+
+#endif  // HIQUE_ITERATOR_EXPR_EVAL_H_

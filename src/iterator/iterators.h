@@ -1,0 +1,46 @@
+#ifndef HIQUE_ITERATOR_ITERATORS_H_
+#define HIQUE_ITERATOR_ITERATORS_H_
+
+#include <memory>
+#include <vector>
+
+#include "iterator/expr_eval.h"
+#include "plan/physical.h"
+#include "storage/table.h"
+#include "util/status.h"
+
+namespace hique::iter {
+
+/// The classic Volcano interface (paper §II-B): open / get-next / close.
+/// Next() returns a pointer to the next record in the operator's output
+/// layout, or nullptr when exhausted. Every call is virtual — that per-tuple
+/// dispatch is precisely the overhead holistic code generation removes.
+class Iterator {
+ public:
+  virtual ~Iterator() = default;
+  virtual Status Open() = 0;
+  virtual const uint8_t* Next() = 0;
+  virtual void Close() = 0;
+};
+
+/// A materialized operator result: contiguous records + optional partition
+/// boundaries. Staging operators expose this so join/aggregation iterators
+/// can sort partitions in place, mirroring the temp tables the paper's
+/// prototype materializes in its buffer pool.
+struct MaterializedStream {
+  std::vector<uint8_t> data;
+  int64_t n = 0;
+  uint32_t rec_size = 0;
+  std::vector<int64_t> part_begin;  // empty unless partitioned
+};
+
+/// Builds the Volcano operator tree for a physical plan and runs it to
+/// completion, returning the result table. Shares plans with the holistic
+/// engine so both execute algorithm-identical operator lists (the paper's
+/// "iterator-based versions of the proposed algorithms", §VI-B).
+Result<std::unique_ptr<Table>> ExecutePlanVolcano(
+    const plan::PhysicalPlan& plan, Mode mode, IterStats* stats);
+
+}  // namespace hique::iter
+
+#endif  // HIQUE_ITERATOR_ITERATORS_H_

@@ -1,0 +1,23 @@
+#include "iterator/volcano_engine.h"
+
+#include "sql/binder.h"
+#include "util/timer.h"
+
+namespace hique::iter {
+
+Result<VolcanoResult> VolcanoEngine::Query(
+    const std::string& sql, const plan::PlannerOptions& planner) {
+  WallTimer timer;
+  HQ_ASSIGN_OR_RETURN(auto bound, sql::ParseAndBind(sql, *catalog_));
+  HQ_ASSIGN_OR_RETURN(auto plan, plan::Optimize(std::move(bound), planner));
+  VolcanoResult result;
+  result.plan_text = plan->ToString();
+  WallTimer exec_timer;
+  HQ_ASSIGN_OR_RETURN(result.table,
+                      ExecutePlanVolcano(*plan, mode_, &result.stats));
+  result.stats.execute_seconds = exec_timer.ElapsedSeconds();
+  result.total_seconds = timer.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace hique::iter

@@ -1,0 +1,45 @@
+#ifndef HIQUE_ITERATOR_VOLCANO_ENGINE_H_
+#define HIQUE_ITERATOR_VOLCANO_ENGINE_H_
+
+#include <memory>
+#include <string>
+
+#include "iterator/iterators.h"
+#include "plan/optimizer.h"
+#include "storage/catalog.h"
+#include "util/status.h"
+
+namespace hique::iter {
+
+struct VolcanoResult {
+  std::unique_ptr<Table> table;
+  IterStats stats;
+  double total_seconds = 0;
+  std::string plan_text;
+};
+
+/// The iterator-model baseline engine (paper §VI): same parser, optimizer
+/// and physical algorithms as HIQUE, but interpreted through Volcano
+/// open/next/close iterators instead of generated code.
+///
+/// kGeneric mode stands in for PostgreSQL-class engines (untyped predicate
+/// evaluation through function pointers); kOptimized for type-specialized
+/// iterator engines (System X-class). See DESIGN.md §2.
+class VolcanoEngine {
+ public:
+  VolcanoEngine(Catalog* catalog, Mode mode) : catalog_(catalog), mode_(mode) {}
+
+  Catalog* catalog() const { return catalog_; }
+  Mode mode() const { return mode_; }
+
+  Result<VolcanoResult> Query(const std::string& sql,
+                              const plan::PlannerOptions& planner = {});
+
+ private:
+  Catalog* catalog_;
+  Mode mode_;
+};
+
+}  // namespace hique::iter
+
+#endif  // HIQUE_ITERATOR_VOLCANO_ENGINE_H_

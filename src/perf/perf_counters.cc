@@ -1,0 +1,166 @@
+#include "perf/perf_counters.h"
+
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <numeric>
+#include <vector>
+
+#include "util/rng.h"
+#include "util/timer.h"
+
+namespace hique::perf {
+namespace {
+
+enum Kind {
+  kCycles,
+  kInstructions,
+  kCacheRefs,
+  kCacheMisses,
+  kL1dMisses,
+  kBranchMisses,
+};
+
+int OpenCounter(uint32_t type, uint64_t config) {
+  perf_event_attr attr;
+  std::memset(&attr, 0, sizeof(attr));
+  attr.size = sizeof(attr);
+  attr.type = type;
+  attr.config = config;
+  attr.disabled = 1;
+  attr.exclude_kernel = 1;
+  attr.exclude_hv = 1;
+  return static_cast<int>(
+      syscall(SYS_perf_event_open, &attr, 0, -1, -1, 0));
+}
+
+}  // namespace
+
+PerfCounters::PerfCounters() {
+  struct Spec {
+    int kind;
+    uint32_t type;
+    uint64_t config;
+  };
+  const Spec specs[] = {
+      {kCycles, PERF_TYPE_HARDWARE, PERF_COUNT_HW_CPU_CYCLES},
+      {kInstructions, PERF_TYPE_HARDWARE, PERF_COUNT_HW_INSTRUCTIONS},
+      {kCacheRefs, PERF_TYPE_HARDWARE, PERF_COUNT_HW_CACHE_REFERENCES},
+      {kCacheMisses, PERF_TYPE_HARDWARE, PERF_COUNT_HW_CACHE_MISSES},
+      {kL1dMisses, PERF_TYPE_HW_CACHE,
+       PERF_COUNT_HW_CACHE_L1D | (PERF_COUNT_HW_CACHE_OP_READ << 8) |
+           (PERF_COUNT_HW_CACHE_RESULT_MISS << 16)},
+      {kBranchMisses, PERF_TYPE_HARDWARE, PERF_COUNT_HW_BRANCH_MISSES},
+  };
+  for (const Spec& s : specs) {
+    int fd = OpenCounter(s.type, s.config);
+    if (fd >= 0) {
+      fds_.push_back(fd);
+      kinds_.push_back(s.kind);
+    }
+  }
+  // Usable if at least cycles+instructions opened.
+  bool has_cycles = false, has_instr = false;
+  for (int k : kinds_) {
+    if (k == kCycles) has_cycles = true;
+    if (k == kInstructions) has_instr = true;
+  }
+  available_ = has_cycles && has_instr;
+}
+
+PerfCounters::~PerfCounters() {
+  for (int fd : fds_) ::close(fd);
+}
+
+void PerfCounters::Start() {
+  for (int fd : fds_) {
+    ioctl(fd, PERF_EVENT_IOC_RESET, 0);
+    ioctl(fd, PERF_EVENT_IOC_ENABLE, 0);
+  }
+}
+
+CounterSample PerfCounters::Stop() {
+  CounterSample sample;
+  sample.available = available_;
+  for (size_t i = 0; i < fds_.size(); ++i) {
+    ioctl(fds_[i], PERF_EVENT_IOC_DISABLE, 0);
+    uint64_t value = 0;
+    if (read(fds_[i], &value, sizeof(value)) != sizeof(value)) continue;
+    switch (kinds_[i]) {
+      case kCycles:
+        sample.cycles = value;
+        break;
+      case kInstructions:
+        sample.instructions = value;
+        break;
+      case kCacheRefs:
+        sample.cache_references = value;
+        break;
+      case kCacheMisses:
+        sample.cache_misses = value;
+        break;
+      case kL1dMisses:
+        sample.l1d_misses = value;
+        break;
+      case kBranchMisses:
+        sample.branch_misses = value;
+        break;
+    }
+  }
+  return sample;
+}
+
+LatencyResult MeasureAccessLatency(size_t bytes, uint64_t seed) {
+  // One pointer per cache line so each access touches a new line.
+  constexpr size_t kLine = 64;
+  size_t slots = bytes / kLine;
+  if (slots < 16) slots = 16;
+  struct alignas(64) Node {
+    Node* next;
+    char pad[kLine - sizeof(Node*)];
+  };
+  std::vector<Node> nodes(slots);
+
+  // Sequential chain.
+  for (size_t i = 0; i < slots; ++i) {
+    nodes[i].next = &nodes[(i + 1) % slots];
+  }
+  uint64_t accesses = slots * 8 < (1u << 22) ? (1u << 22) : slots * 8;
+  // The compiler must not elide or batch the dependent loads: launder the
+  // pointer through an empty asm so every iteration performs a real load.
+  auto chase = [](Node* start, uint64_t n) {
+    Node* p = start;
+    for (uint64_t i = 0; i < n; ++i) {
+      p = p->next;
+      asm volatile("" : "+r"(p));
+    }
+    return p;
+  };
+  Node* p = chase(&nodes[0], slots);  // warm-up
+  WallTimer timer;
+  p = chase(p, accesses);
+  double seq_ns = timer.ElapsedSeconds() * 1e9 / static_cast<double>(accesses);
+
+  // Random permutation chain (single cycle through all slots).
+  std::vector<uint32_t> order(slots);
+  std::iota(order.begin(), order.end(), 0);
+  Rng rng(seed);
+  rng.Shuffle(slots, [&](uint64_t i, uint64_t j) {
+    std::swap(order[i], order[j]);
+  });
+  for (size_t i = 0; i < slots; ++i) {
+    nodes[order[i]].next = &nodes[order[(i + 1) % slots]];
+  }
+  p = chase(&nodes[order[0]], slots);  // warm-up
+  timer.Restart();
+  p = chase(p, accesses);
+  double rnd_ns = timer.ElapsedSeconds() * 1e9 / static_cast<double>(accesses);
+  if (p == nullptr) return {0, 0};  // unreachable; keeps p observable
+
+  return {seq_ns, rnd_ns};
+}
+
+}  // namespace hique::perf

@@ -1,0 +1,61 @@
+#ifndef HIQUE_PERF_PERF_COUNTERS_H_
+#define HIQUE_PERF_PERF_COUNTERS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hique::perf {
+
+/// One sampled hardware event group (paper §VI uses OProfile; we use
+/// perf_event_open when the kernel allows it and report "n/a" otherwise —
+/// see DESIGN.md §2).
+struct CounterSample {
+  bool available = false;
+  uint64_t cycles = 0;
+  uint64_t instructions = 0;
+  uint64_t cache_references = 0;
+  uint64_t cache_misses = 0;       // LLC misses
+  uint64_t l1d_misses = 0;
+  uint64_t branch_misses = 0;
+
+  /// Cycles per instruction; 0 when unavailable.
+  double Cpi() const {
+    return instructions == 0 ? 0
+                             : static_cast<double>(cycles) /
+                                   static_cast<double>(instructions);
+  }
+};
+
+/// Scoped collector: construct, run the workload, call Stop().
+class PerfCounters {
+ public:
+  PerfCounters();
+  ~PerfCounters();
+  PerfCounters(const PerfCounters&) = delete;
+  PerfCounters& operator=(const PerfCounters&) = delete;
+
+  /// True when the kernel granted at least the core events.
+  bool available() const { return available_; }
+
+  void Start();
+  CounterSample Stop();
+
+ private:
+  bool available_ = false;
+  std::vector<int> fds_;
+  std::vector<int> kinds_;  // parallel to fds_
+};
+
+/// Memory hierarchy latency probe (Table I / §II-A): measures per-access
+/// nanoseconds for sequential (stride) and dependent random (pointer-chase)
+/// walks over a working set of `bytes`.
+struct LatencyResult {
+  double sequential_ns = 0;
+  double random_ns = 0;
+};
+LatencyResult MeasureAccessLatency(size_t bytes, uint64_t seed = 7);
+
+}  // namespace hique::perf
+
+#endif  // HIQUE_PERF_PERF_COUNTERS_H_

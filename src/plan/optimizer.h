@@ -1,0 +1,43 @@
+#ifndef HIQUE_PLAN_OPTIMIZER_H_
+#define HIQUE_PLAN_OPTIMIZER_H_
+
+#include <memory>
+#include <optional>
+
+#include "plan/physical.h"
+#include "sql/bound.h"
+#include "util/status.h"
+
+namespace hique::plan {
+
+/// Optimizer knobs. Benchmarks use the `force_*` switches to pin a specific
+/// algorithm (the paper's §VI-B sweeps do exactly that); defaults implement
+/// the paper's selection rules.
+struct PlannerOptions {
+  bool enable_join_teams = true;
+
+  std::optional<JoinAlgo> force_join_algo;
+  std::optional<AggAlgo> force_agg_algo;
+  uint32_t force_partitions = 0;  // 0 = derive from input size and L2
+
+  /// Fine partitioning applies when the dense key domain is at most this.
+  int64_t fine_partition_max_domain = 4096;
+
+  /// Map aggregation applies when the product of group-key directory
+  /// capacities is at most this many cells; 0 = derive from L2 size.
+  uint64_t map_agg_max_cells = 0;
+
+  /// Per-partition target bytes; 0 = derive L2/2 from the host.
+  uint64_t partition_target_bytes = 0;
+};
+
+/// Chooses the evaluation plan: greedy join ordering minimising intermediate
+/// result size, join teams, interesting orders, per-operator algorithm
+/// selection, and staging parameters (paper §IV).
+Result<std::unique_ptr<PhysicalPlan>> Optimize(
+    std::unique_ptr<sql::BoundQuery> query,
+    const PlannerOptions& options = {});
+
+}  // namespace hique::plan
+
+#endif  // HIQUE_PLAN_OPTIMIZER_H_

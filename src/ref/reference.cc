@@ -1,0 +1,403 @@
+#include "ref/reference.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "sql/binder.h"
+
+namespace hique::ref {
+namespace {
+
+using sql::AggFunc;
+using sql::BoundQuery;
+using sql::ColRef;
+using sql::CmpOp;
+using sql::ScalarExpr;
+using sql::ScalarKind;
+
+/// One joined row: per FROM table, the tuple's boxed values.
+struct JoinedRow {
+  std::vector<const Row*> parts;  // one per table
+};
+
+Value GetCol(const JoinedRow& row, ColRef ref) {
+  return (*row.parts[ref.table])[ref.column];
+}
+
+Value EvalScalar(const ScalarExpr& e, const JoinedRow& row) {
+  switch (e.kind) {
+    case ScalarKind::kColumn:
+      return GetCol(row, e.column);
+    case ScalarKind::kLiteral:
+      return e.literal;
+    case ScalarKind::kArith: {
+      Value l = EvalScalar(*e.left, row);
+      Value r = EvalScalar(*e.right, row);
+      if (e.type.id == TypeId::kDouble) {
+        double a = l.AsDouble(), b = r.AsDouble();
+        switch (e.op) {
+          case '+':
+            return Value::Double(a + b);
+          case '-':
+            return Value::Double(a - b);
+          case '*':
+            return Value::Double(a * b);
+          case '/':
+            return Value::Double(b == 0 ? 0 : a / b);
+        }
+      }
+      int64_t a = l.AsInt64(), b = r.AsInt64();
+      int64_t v = 0;
+      switch (e.op) {
+        case '+':
+          v = a + b;
+          break;
+        case '-':
+          v = a - b;
+          break;
+        case '*':
+          v = a * b;
+          break;
+        case '/':
+          v = b == 0 ? 0 : a / b;
+          break;
+      }
+      if (e.type.id == TypeId::kInt32) {
+        return Value::Int32(static_cast<int32_t>(v));
+      }
+      return Value::Int64(v);
+    }
+  }
+  return Value();
+}
+
+bool CmpHolds(int cmp, CmpOp op) {
+  switch (op) {
+    case CmpOp::kEq:
+      return cmp == 0;
+    case CmpOp::kNe:
+      return cmp != 0;
+    case CmpOp::kLt:
+      return cmp < 0;
+    case CmpOp::kLe:
+      return cmp <= 0;
+    case CmpOp::kGt:
+      return cmp > 0;
+    case CmpOp::kGe:
+      return cmp >= 0;
+  }
+  return false;
+}
+
+struct AggState {
+  double sum_d = 0;
+  int64_t sum_i = 0;
+  int64_t count = 0;
+  Value min, max;
+  bool has_minmax = false;
+};
+
+class Evaluator {
+ public:
+  explicit Evaluator(const BoundQuery& q) : q_(q) {}
+
+  Result<std::vector<Row>> Run() {
+    HQ_RETURN_IF_ERROR(LoadTables());
+    std::vector<JoinedRow> joined;
+    HQ_RETURN_IF_ERROR(JoinAll(&joined));
+    std::vector<Row> rows;
+    if (q_.HasAggregation()) {
+      HQ_RETURN_IF_ERROR(Aggregate(joined, &rows));
+    } else {
+      for (const JoinedRow& jr : joined) {
+        Row out;
+        for (const auto& item : q_.outputs) {
+          out.push_back(EvalScalar(*item.scalar, jr));
+        }
+        rows.push_back(std::move(out));
+      }
+    }
+    SortAndLimit(&rows);
+    return rows;
+  }
+
+ private:
+  Status LoadTables() {
+    tables_.resize(q_.tables.size());
+    for (size_t t = 0; t < q_.tables.size(); ++t) {
+      Table* table = q_.tables[t];
+      const Schema& schema = table->schema();
+      auto& rows = tables_[t];
+      rows.reserve(table->NumTuples());
+      HQ_RETURN_IF_ERROR(table->ForEachTuple([&](const uint8_t* tuple) {
+        Row row;
+        row.reserve(schema.NumColumns());
+        for (size_t c = 0; c < schema.NumColumns(); ++c) {
+          row.push_back(schema.GetValue(tuple, c));
+        }
+        rows.push_back(std::move(row));
+      }));
+      // Apply single-table filters.
+      auto passes = [&](const Row& row) {
+        for (const auto& f : q_.filters) {
+          if (f.column.table != static_cast<int>(t)) continue;
+          const Value& lhs = row[f.column.column];
+          int cmp;
+          if (f.rhs_is_column) {
+            cmp = lhs.Compare(row[f.rhs_column.column]);
+          } else {
+            cmp = lhs.Compare(f.literal);
+          }
+          if (!CmpHolds(cmp, f.op)) return false;
+        }
+        return true;
+      };
+      std::vector<Row> kept;
+      for (auto& row : rows) {
+        if (passes(row)) kept.push_back(std::move(row));
+      }
+      rows = std::move(kept);
+    }
+    return Status::OK();
+  }
+
+  Status JoinAll(std::vector<JoinedRow>* out) {
+    // Progressive nested-loops join in FROM order, applying every join
+    // predicate as soon as both sides are available.
+    std::vector<JoinedRow> current;
+    for (const Row& r : tables_[0]) {
+      JoinedRow jr;
+      jr.parts.assign(q_.tables.size(), nullptr);
+      jr.parts[0] = &r;
+      current.push_back(jr);
+    }
+    for (size_t t = 1; t < q_.tables.size(); ++t) {
+      std::vector<JoinedRow> next;
+      for (const JoinedRow& jr : current) {
+        for (const Row& r : tables_[t]) {
+          JoinedRow cand = jr;
+          cand.parts[t] = &r;
+          bool ok = true;
+          for (const auto& j : q_.joins) {
+            int lt = j.left.table, rt = j.right.table;
+            if (cand.parts[lt] == nullptr || cand.parts[rt] == nullptr) {
+              continue;
+            }
+            // Only check predicates that become complete with table t.
+            if (lt != static_cast<int>(t) && rt != static_cast<int>(t)) {
+              continue;
+            }
+            if (GetCol(cand, j.left).Compare(GetCol(cand, j.right)) != 0) {
+              ok = false;
+              break;
+            }
+          }
+          if (ok) next.push_back(std::move(cand));
+        }
+      }
+      current = std::move(next);
+    }
+    if (q_.tables.size() > 1 && q_.joins.empty()) {
+      return Status::NotImplemented("cross product in reference executor");
+    }
+    *out = std::move(current);
+    return Status::OK();
+  }
+
+  Status Aggregate(const std::vector<JoinedRow>& joined,
+                   std::vector<Row>* out) {
+    // Group map keyed by the canonical string rendering of group values.
+    std::map<std::string, std::pair<Row, std::vector<AggState>>> groups;
+    for (const JoinedRow& jr : joined) {
+      std::string key;
+      Row key_vals;
+      for (ColRef g : q_.group_by) {
+        Value v = GetCol(jr, g);
+        key += v.ToString();
+        key += '\x1f';
+        key_vals.push_back(std::move(v));
+      }
+      auto [it, inserted] = groups.try_emplace(
+          key, std::make_pair(std::move(key_vals),
+                              std::vector<AggState>(q_.aggs.size())));
+      auto& states = it->second.second;
+      for (size_t a = 0; a < q_.aggs.size(); ++a) {
+        const sql::AggSpec& spec = q_.aggs[a];
+        AggState& st = states[a];
+        ++st.count;
+        if (spec.arg) {
+          Value v = EvalScalar(*spec.arg, jr);
+          st.sum_d += v.AsDouble();
+          if (v.type_id() != TypeId::kDouble) st.sum_i += v.AsInt64();
+          if (!st.has_minmax) {
+            st.min = v;
+            st.max = v;
+            st.has_minmax = true;
+          } else {
+            if (v.Compare(st.min) < 0) st.min = v;
+            if (v.Compare(st.max) > 0) st.max = v;
+          }
+        }
+      }
+    }
+    // Scalar aggregation over an empty input still emits one zero row
+    // (engine semantics: no NULLs).
+    if (groups.empty() && q_.group_by.empty()) {
+      groups.try_emplace("", std::make_pair(Row{}, std::vector<AggState>(
+                                                       q_.aggs.size())));
+      for (auto& [k, v] : groups) {
+        for (auto& st : v.second) st.count = 0;
+      }
+    }
+    for (auto& [key, entry] : groups) {
+      Row out_row;
+      for (const auto& item : q_.outputs) {
+        switch (item.kind) {
+          case sql::OutputCol::Kind::kGroupKey:
+            out_row.push_back(entry.first[item.index]);
+            break;
+          case sql::OutputCol::Kind::kAggregate: {
+            const sql::AggSpec& spec = q_.aggs[item.index];
+            const AggState& st = entry.second[item.index];
+            switch (spec.func) {
+              case AggFunc::kCount:
+                out_row.push_back(Value::Int64(st.count));
+                break;
+              case AggFunc::kSum:
+                if (spec.out_type.id == TypeId::kDouble) {
+                  out_row.push_back(Value::Double(st.sum_d));
+                } else {
+                  out_row.push_back(Value::Int64(st.sum_i));
+                }
+                break;
+              case AggFunc::kAvg:
+                out_row.push_back(Value::Double(
+                    st.count == 0 ? 0 : st.sum_d / static_cast<double>(
+                                                       st.count)));
+                break;
+              case AggFunc::kMin:
+                out_row.push_back(st.has_minmax ? st.min
+                                                : ZeroOf(spec.out_type));
+                break;
+              case AggFunc::kMax:
+                out_row.push_back(st.has_minmax ? st.max
+                                                : ZeroOf(spec.out_type));
+                break;
+            }
+            break;
+          }
+          case sql::OutputCol::Kind::kScalar:
+            return Status::Internal("scalar output in aggregate query");
+        }
+      }
+      out->push_back(std::move(out_row));
+    }
+    return Status::OK();
+  }
+
+  static Value ZeroOf(Type t) {
+    switch (t.id) {
+      case TypeId::kInt32:
+        return Value::Int32(0);
+      case TypeId::kDate:
+        return Value::Date(0);
+      case TypeId::kInt64:
+        return Value::Int64(0);
+      case TypeId::kDouble:
+        return Value::Double(0);
+      case TypeId::kChar:
+        return Value::Char("", t.length);
+    }
+    return Value();
+  }
+
+  void SortAndLimit(std::vector<Row>* rows) {
+    if (!q_.order_by.empty()) {
+      std::stable_sort(rows->begin(), rows->end(),
+                       [&](const Row& a, const Row& b) {
+                         for (const auto& spec : q_.order_by) {
+                           int c = a[spec.output_index].Compare(
+                               b[spec.output_index]);
+                           if (c != 0) return spec.desc ? c > 0 : c < 0;
+                         }
+                         return false;
+                       });
+    }
+    if (q_.limit >= 0 &&
+        rows->size() > static_cast<size_t>(q_.limit)) {
+      rows->resize(static_cast<size_t>(q_.limit));
+    }
+  }
+
+  const BoundQuery& q_;
+  std::vector<std::vector<Row>> tables_;
+};
+
+std::string RowToString(const Row& row) {
+  std::string s;
+  for (const auto& v : row) {
+    s += v.ToString();
+    s += '\x1f';
+  }
+  return s;
+}
+
+}  // namespace
+
+Result<std::vector<Row>> Execute(const sql::BoundQuery& query) {
+  Evaluator ev(query);
+  return ev.Run();
+}
+
+Result<std::vector<Row>> ExecuteSql(const std::string& sql,
+                                    const Catalog& catalog) {
+  HQ_ASSIGN_OR_RETURN(auto bound, sql::ParseAndBind(sql, catalog));
+  return Execute(*bound);
+}
+
+Status CompareRowSets(const std::vector<Row>& expected,
+                      const std::vector<Row>& actual, bool respect_order) {
+  if (expected.size() != actual.size()) {
+    return Status::Internal("row count mismatch: expected " +
+                            std::to_string(expected.size()) + ", got " +
+                            std::to_string(actual.size()));
+  }
+  auto value_eq = [](const Value& a, const Value& b) {
+    if (a.type_id() == TypeId::kDouble || b.type_id() == TypeId::kDouble) {
+      double x = a.AsDouble(), y = b.AsDouble();
+      double tol = 1e-6 * std::max({1.0, std::fabs(x), std::fabs(y)});
+      return std::fabs(x - y) <= tol;
+    }
+    if (a.type_id() != b.type_id()) return false;
+    return a.Compare(b) == 0;
+  };
+  auto rows_eq = [&](const Row& a, const Row& b) {
+    if (a.size() != b.size()) return false;
+    for (size_t i = 0; i < a.size(); ++i) {
+      if (!value_eq(a[i], b[i])) return false;
+    }
+    return true;
+  };
+
+  std::vector<const Row*> e, a;
+  for (const auto& r : expected) e.push_back(&r);
+  for (const auto& r : actual) a.push_back(&r);
+  if (!respect_order) {
+    auto cmp = [](const Row* x, const Row* y) {
+      return RowToString(*x) < RowToString(*y);
+    };
+    std::sort(e.begin(), e.end(), cmp);
+    std::sort(a.begin(), a.end(), cmp);
+  }
+  for (size_t i = 0; i < e.size(); ++i) {
+    if (!rows_eq(*e[i], *a[i])) {
+      return Status::Internal("row " + std::to_string(i) +
+                              " mismatch:\n  expected: " + RowToString(*e[i]) +
+                              "\n  actual:   " + RowToString(*a[i]));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace hique::ref

@@ -1,0 +1,33 @@
+#ifndef HIQUE_REF_REFERENCE_H_
+#define HIQUE_REF_REFERENCE_H_
+
+#include <string>
+#include <vector>
+
+#include "sql/bound.h"
+#include "storage/catalog.h"
+#include "util/status.h"
+
+namespace hique::ref {
+
+using Row = std::vector<Value>;
+
+/// Naive, obviously-correct evaluator over a bound query: materialized
+/// nested-loops joins, hash-free map-based grouping over boxed values.
+/// Used exclusively as the ground-truth oracle in differential tests.
+Result<std::vector<Row>> Execute(const sql::BoundQuery& query);
+
+/// Parses + binds + executes in one step.
+Result<std::vector<Row>> ExecuteSql(const std::string& sql,
+                                    const Catalog& catalog);
+
+/// Row-set comparison for differential tests: both sides are sorted
+/// canonically and compared with a relative tolerance for doubles.
+/// Returns a failed status describing the first mismatch.
+Status CompareRowSets(const std::vector<Row>& expected,
+                      const std::vector<Row>& actual,
+                      bool respect_order = false);
+
+}  // namespace hique::ref
+
+#endif  // HIQUE_REF_REFERENCE_H_

@@ -1,0 +1,124 @@
+#ifndef HIQUE_SQL_AST_H_
+#define HIQUE_SQL_AST_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "storage/value.h"
+
+namespace hique::sql {
+
+/// Unbound expression AST produced by the parser. The grammar matches the
+/// paper's prototype (§IV): conjunctive queries with equi-joins, arbitrary
+/// groupings and sort orders; no nested queries, no statistical aggregates.
+enum class ExprKind { kColumnRef, kIntLit, kFloatLit, kStringLit, kDateLit,
+                      kBinary, kAggregate, kStar };
+
+enum class BinaryOp { kAdd, kSub, kMul, kDiv, kEq, kNe, kLt, kLe, kGt, kGe,
+                      kAnd };
+
+enum class ParseAggFunc { kSum, kCount, kAvg, kMin, kMax };
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+struct Expr {
+  ExprKind kind;
+
+  // kColumnRef: optional qualifier ("t.col" or "col").
+  std::string qualifier;
+  std::string column;
+
+  // literals
+  int64_t int_value = 0;
+  double float_value = 0;
+  std::string string_value;
+  int32_t date_value = 0;
+
+  // kBinary
+  BinaryOp op = BinaryOp::kAdd;
+  ExprPtr left;
+  ExprPtr right;
+
+  // kAggregate: agg(arg) or COUNT(*)
+  ParseAggFunc agg = ParseAggFunc::kCount;
+  ExprPtr arg;  // null for COUNT(*)
+
+  static ExprPtr Column(std::string qualifier, std::string column) {
+    auto e = std::make_unique<Expr>();
+    e->kind = ExprKind::kColumnRef;
+    e->qualifier = std::move(qualifier);
+    e->column = std::move(column);
+    return e;
+  }
+  static ExprPtr Int(int64_t v) {
+    auto e = std::make_unique<Expr>();
+    e->kind = ExprKind::kIntLit;
+    e->int_value = v;
+    return e;
+  }
+  static ExprPtr Float(double v) {
+    auto e = std::make_unique<Expr>();
+    e->kind = ExprKind::kFloatLit;
+    e->float_value = v;
+    return e;
+  }
+  static ExprPtr String(std::string v) {
+    auto e = std::make_unique<Expr>();
+    e->kind = ExprKind::kStringLit;
+    e->string_value = std::move(v);
+    return e;
+  }
+  static ExprPtr DateLit(int32_t days) {
+    auto e = std::make_unique<Expr>();
+    e->kind = ExprKind::kDateLit;
+    e->date_value = days;
+    return e;
+  }
+  static ExprPtr Binary(BinaryOp op, ExprPtr l, ExprPtr r) {
+    auto e = std::make_unique<Expr>();
+    e->kind = ExprKind::kBinary;
+    e->op = op;
+    e->left = std::move(l);
+    e->right = std::move(r);
+    return e;
+  }
+  static ExprPtr Aggregate(ParseAggFunc f, ExprPtr arg) {
+    auto e = std::make_unique<Expr>();
+    e->kind = ExprKind::kAggregate;
+    e->agg = f;
+    e->arg = std::move(arg);
+    return e;
+  }
+};
+
+struct SelectItem {
+  ExprPtr expr;
+  std::string alias;  // empty if none
+};
+
+struct TableRefAst {
+  std::string table;
+  std::string alias;  // defaults to table name
+};
+
+struct OrderItem {
+  ExprPtr expr;  // column ref or output alias
+  bool desc = false;
+};
+
+/// SELECT <items> FROM <tables> [WHERE <conj>] [GROUP BY <cols>]
+/// [ORDER BY <items>] [LIMIT n]
+struct SelectStmt {
+  std::vector<SelectItem> items;
+  std::vector<TableRefAst> from;
+  ExprPtr where;  // conjunction tree (AND of comparisons) or null
+  std::vector<ExprPtr> group_by;
+  std::vector<OrderItem> order_by;
+  int64_t limit = -1;
+};
+
+}  // namespace hique::sql
+
+#endif  // HIQUE_SQL_AST_H_

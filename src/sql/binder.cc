@@ -1,0 +1,511 @@
+#include "sql/binder.h"
+
+#include <algorithm>
+
+#include "sql/parser.h"
+
+namespace hique::sql {
+
+const char* CmpOpToC(CmpOp op) {
+  switch (op) {
+    case CmpOp::kEq:
+      return "==";
+    case CmpOp::kNe:
+      return "!=";
+    case CmpOp::kLt:
+      return "<";
+    case CmpOp::kLe:
+      return "<=";
+    case CmpOp::kGt:
+      return ">";
+    case CmpOp::kGe:
+      return ">=";
+  }
+  return "?";
+}
+
+const char* AggFuncName(AggFunc f) {
+  switch (f) {
+    case AggFunc::kSum:
+      return "sum";
+    case AggFunc::kCount:
+      return "count";
+    case AggFunc::kAvg:
+      return "avg";
+    case AggFunc::kMin:
+      return "min";
+    case AggFunc::kMax:
+      return "max";
+  }
+  return "?";
+}
+
+namespace {
+
+CmpOp BinaryToCmp(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kEq:
+      return CmpOp::kEq;
+    case BinaryOp::kNe:
+      return CmpOp::kNe;
+    case BinaryOp::kLt:
+      return CmpOp::kLt;
+    case BinaryOp::kLe:
+      return CmpOp::kLe;
+    case BinaryOp::kGt:
+      return CmpOp::kGt;
+    case BinaryOp::kGe:
+      return CmpOp::kGe;
+    default:
+      HQ_CHECK_MSG(false, "not a comparison");
+      return CmpOp::kEq;
+  }
+}
+
+CmpOp FlipCmp(CmpOp op) {
+  switch (op) {
+    case CmpOp::kLt:
+      return CmpOp::kGt;
+    case CmpOp::kLe:
+      return CmpOp::kGe;
+    case CmpOp::kGt:
+      return CmpOp::kLt;
+    case CmpOp::kGe:
+      return CmpOp::kLe;
+    default:
+      return op;
+  }
+}
+
+class Binder {
+ public:
+  Binder(const SelectStmt& stmt, const Catalog& catalog)
+      : stmt_(stmt), catalog_(catalog) {}
+
+  Result<std::unique_ptr<BoundQuery>> Run() {
+    query_ = std::make_unique<BoundQuery>();
+    HQ_RETURN_IF_ERROR(BindFrom());
+    HQ_RETURN_IF_ERROR(BindWhere());
+    HQ_RETURN_IF_ERROR(BindGroupBy());
+    HQ_RETURN_IF_ERROR(BindSelectList());
+    HQ_RETURN_IF_ERROR(BindOrderBy());
+    query_->limit = stmt_.limit;
+    return std::move(query_);
+  }
+
+ private:
+  Status BindFrom() {
+    if (stmt_.from.empty()) {
+      return Status::BindError("FROM clause is required");
+    }
+    for (const auto& ref : stmt_.from) {
+      auto table = catalog_.GetTable(ref.table);
+      if (!table.ok()) return table.status();
+      for (const auto& alias : query_->aliases) {
+        if (alias == ref.alias) {
+          return Status::BindError("duplicate table alias '" + ref.alias +
+                                   "'");
+        }
+      }
+      query_->tables.push_back(table.value());
+      query_->aliases.push_back(ref.alias);
+    }
+    return Status::OK();
+  }
+
+  Result<ColRef> ResolveColumn(const std::string& qualifier,
+                               const std::string& column) {
+    if (!qualifier.empty()) {
+      for (size_t t = 0; t < query_->aliases.size(); ++t) {
+        if (query_->aliases[t] == qualifier) {
+          int c = query_->tables[t]->schema().FindColumn(column);
+          if (c < 0) {
+            return Status::BindError("no column '" + column + "' in " +
+                                     qualifier);
+          }
+          return ColRef{static_cast<int>(t), c};
+        }
+      }
+      return Status::BindError("unknown table alias '" + qualifier + "'");
+    }
+    ColRef found{-1, -1};
+    for (size_t t = 0; t < query_->tables.size(); ++t) {
+      int c = query_->tables[t]->schema().FindColumn(column);
+      if (c >= 0) {
+        if (found.table >= 0) {
+          return Status::BindError("ambiguous column '" + column + "'");
+        }
+        found = {static_cast<int>(t), c};
+      }
+    }
+    if (found.table < 0) {
+      return Status::BindError("unknown column '" + column + "'");
+    }
+    return found;
+  }
+
+  Type ColumnType(ColRef ref) const {
+    return query_->tables[ref.table]->schema().ColumnAt(ref.column).type;
+  }
+  std::string ColumnName(ColRef ref) const {
+    return query_->tables[ref.table]->schema().ColumnAt(ref.column).name;
+  }
+
+  /// Binds a scalar (non-aggregate, non-comparison) expression.
+  Result<ScalarExprPtr> BindScalar(const Expr& e) {
+    switch (e.kind) {
+      case ExprKind::kColumnRef: {
+        HQ_ASSIGN_OR_RETURN(ColRef ref, ResolveColumn(e.qualifier, e.column));
+        return ScalarExpr::Column(ref, ColumnType(ref));
+      }
+      case ExprKind::kIntLit:
+        return ScalarExpr::Literal(Value::Int64(e.int_value));
+      case ExprKind::kFloatLit:
+        return ScalarExpr::Literal(Value::Double(e.float_value));
+      case ExprKind::kDateLit:
+        return ScalarExpr::Literal(Value::Date(e.date_value));
+      case ExprKind::kStringLit:
+        return ScalarExpr::Literal(
+            Value::Char(e.string_value,
+                        static_cast<uint16_t>(e.string_value.size())));
+      case ExprKind::kBinary: {
+        switch (e.op) {
+          case BinaryOp::kAdd:
+          case BinaryOp::kSub:
+          case BinaryOp::kMul:
+          case BinaryOp::kDiv:
+            break;
+          default:
+            return Status::BindError(
+                "comparison not allowed in scalar expression");
+        }
+        HQ_ASSIGN_OR_RETURN(ScalarExprPtr l, BindScalar(*e.left));
+        HQ_ASSIGN_OR_RETURN(ScalarExprPtr r, BindScalar(*e.right));
+        if (!l->type.IsNumeric() || !r->type.IsNumeric()) {
+          return Status::BindError("arithmetic requires numeric operands");
+        }
+        Type t;
+        char op = e.op == BinaryOp::kAdd   ? '+'
+                  : e.op == BinaryOp::kSub ? '-'
+                  : e.op == BinaryOp::kMul ? '*'
+                                           : '/';
+        if (op == '/' || l->type.id == TypeId::kDouble ||
+            r->type.id == TypeId::kDouble) {
+          t = Type::Double();
+        } else if (l->type.id == TypeId::kInt64 ||
+                   r->type.id == TypeId::kInt64) {
+          t = Type::Int64();
+        } else {
+          t = Type::Int32();
+        }
+        return ScalarExpr::Arith(op, std::move(l), std::move(r), t);
+      }
+      case ExprKind::kAggregate:
+        return Status::BindError("aggregate not allowed here");
+      case ExprKind::kStar:
+        return Status::BindError("* not allowed here");
+    }
+    return Status::BindError("unsupported expression");
+  }
+
+  /// Coerces a literal to a column's type for predicate evaluation.
+  Result<Value> CoerceLiteral(const Value& lit, Type target) {
+    switch (target.id) {
+      case TypeId::kInt32:
+        if (lit.type_id() == TypeId::kInt64 ||
+            lit.type_id() == TypeId::kInt32) {
+          return Value::Int32(static_cast<int32_t>(lit.AsInt64()));
+        }
+        break;
+      case TypeId::kInt64:
+        if (lit.type_id() == TypeId::kInt64 || lit.type_id() == TypeId::kInt32)
+          return Value::Int64(lit.AsInt64());
+        break;
+      case TypeId::kDouble:
+        if (lit.type().IsNumeric()) return Value::Double(lit.AsDouble());
+        break;
+      case TypeId::kDate: {
+        if (lit.type_id() == TypeId::kDate) return lit;
+        if (lit.type_id() == TypeId::kChar) {
+          int y, m, d;
+          if (std::sscanf(lit.AsString().c_str(), "%d-%d-%d", &y, &m, &d) ==
+              3) {
+            return Value::Date(DateToDays(y, m, d));
+          }
+        }
+        break;
+      }
+      case TypeId::kChar:
+        if (lit.type_id() == TypeId::kChar) {
+          return Value::Char(lit.ToString(), target.length);
+        }
+        break;
+    }
+    return Status::BindError("cannot compare " + target.ToString() +
+                             " column with literal " + lit.ToString());
+  }
+
+  Status BindComparison(const Expr& e) {
+    CmpOp op = BinaryToCmp(e.op);
+    const Expr& lhs = *e.left;
+    const Expr& rhs = *e.right;
+    bool lhs_col = lhs.kind == ExprKind::kColumnRef;
+    bool rhs_col = rhs.kind == ExprKind::kColumnRef;
+    if (lhs_col && rhs_col) {
+      HQ_ASSIGN_OR_RETURN(ColRef l, ResolveColumn(lhs.qualifier, lhs.column));
+      HQ_ASSIGN_OR_RETURN(ColRef r, ResolveColumn(rhs.qualifier, rhs.column));
+      if (l.table != r.table) {
+        if (op != CmpOp::kEq) {
+          return Status::BindError(
+              "only equi-join predicates are supported across tables");
+        }
+        if (!(ColumnType(l) == ColumnType(r))) {
+          return Status::BindError("join key type mismatch: " +
+                                   ColumnName(l) + " vs " + ColumnName(r));
+        }
+        query_->joins.push_back({l, r});
+        return Status::OK();
+      }
+      if (ColumnType(l).id != ColumnType(r).id) {
+        return Status::BindError("column comparison type mismatch");
+      }
+      Filter f;
+      f.column = l;
+      f.op = op;
+      f.rhs_is_column = true;
+      f.rhs_column = r;
+      query_->filters.push_back(std::move(f));
+      return Status::OK();
+    }
+    if (!lhs_col && !rhs_col) {
+      return Status::BindError("predicate must reference a column");
+    }
+    const Expr& col_expr = lhs_col ? lhs : rhs;
+    const Expr& lit_expr = lhs_col ? rhs : lhs;
+    if (!lhs_col) op = FlipCmp(op);
+    HQ_ASSIGN_OR_RETURN(ColRef ref,
+                        ResolveColumn(col_expr.qualifier, col_expr.column));
+    HQ_ASSIGN_OR_RETURN(ScalarExprPtr lit, BindScalar(lit_expr));
+    if (lit->kind != ScalarKind::kLiteral) {
+      return Status::BindError(
+          "predicate right-hand side must be a literal or column");
+    }
+    HQ_ASSIGN_OR_RETURN(Value coerced,
+                        CoerceLiteral(lit->literal, ColumnType(ref)));
+    Filter f;
+    f.column = ref;
+    f.op = op;
+    f.literal = std::move(coerced);
+    query_->filters.push_back(std::move(f));
+    return Status::OK();
+  }
+
+  Status BindWhereConjunct(const Expr& e) {
+    if (e.kind == ExprKind::kBinary && e.op == BinaryOp::kAnd) {
+      HQ_RETURN_IF_ERROR(BindWhereConjunct(*e.left));
+      return BindWhereConjunct(*e.right);
+    }
+    if (e.kind != ExprKind::kBinary) {
+      return Status::BindError("WHERE clause must be a conjunction of "
+                               "comparisons");
+    }
+    switch (e.op) {
+      case BinaryOp::kEq:
+      case BinaryOp::kNe:
+      case BinaryOp::kLt:
+      case BinaryOp::kLe:
+      case BinaryOp::kGt:
+      case BinaryOp::kGe:
+        return BindComparison(e);
+      default:
+        return Status::BindError("unsupported predicate");
+    }
+  }
+
+  Status BindWhere() {
+    if (stmt_.where == nullptr) return Status::OK();
+    return BindWhereConjunct(*stmt_.where);
+  }
+
+  Status BindGroupBy() {
+    for (const auto& g : stmt_.group_by) {
+      HQ_ASSIGN_OR_RETURN(ColRef ref, ResolveColumn(g->qualifier, g->column));
+      query_->group_by.push_back(ref);
+    }
+    return Status::OK();
+  }
+
+  Status BindSelectList() {
+    bool any_agg = false;
+    for (const auto& item : stmt_.items) {
+      if (item.expr->kind == ExprKind::kAggregate) any_agg = true;
+    }
+    bool grouped = any_agg || !stmt_.group_by.empty();
+
+    for (const auto& item : stmt_.items) {
+      OutputCol out;
+      const Expr& e = *item.expr;
+      if (e.kind == ExprKind::kAggregate) {
+        AggSpec spec;
+        switch (e.agg) {
+          case sql::ParseAggFunc::kSum:
+            spec.func = AggFunc::kSum;
+            break;
+          case sql::ParseAggFunc::kCount:
+            spec.func = AggFunc::kCount;
+            break;
+          case sql::ParseAggFunc::kAvg:
+            spec.func = AggFunc::kAvg;
+            break;
+          case sql::ParseAggFunc::kMin:
+            spec.func = AggFunc::kMin;
+            break;
+          case sql::ParseAggFunc::kMax:
+            spec.func = AggFunc::kMax;
+            break;
+        }
+        if (e.arg != nullptr) {
+          HQ_ASSIGN_OR_RETURN(spec.arg, BindScalar(*e.arg));
+          if (!spec.arg->type.IsNumeric() && spec.func != AggFunc::kMin &&
+              spec.func != AggFunc::kMax && spec.func != AggFunc::kCount) {
+            return Status::BindError("aggregate argument must be numeric");
+          }
+        } else if (spec.func != AggFunc::kCount) {
+          return Status::BindError("only COUNT(*) may omit its argument");
+        }
+        switch (spec.func) {
+          case AggFunc::kCount:
+            spec.out_type = Type::Int64();
+            break;
+          case AggFunc::kAvg:
+            spec.out_type = Type::Double();
+            break;
+          case AggFunc::kSum:
+            spec.out_type = spec.arg->type.id == TypeId::kDouble
+                                ? Type::Double()
+                                : Type::Int64();
+            break;
+          case AggFunc::kMin:
+          case AggFunc::kMax:
+            spec.out_type = spec.arg->type;
+            break;
+        }
+        out.kind = OutputCol::Kind::kAggregate;
+        out.index = static_cast<int>(query_->aggs.size());
+        out.type = spec.out_type;
+        out.name = item.alias.empty()
+                       ? std::string(AggFuncName(spec.func)) + "_" +
+                             std::to_string(out.index)
+                       : item.alias;
+        query_->aggs.push_back(std::move(spec));
+      } else {
+        HQ_ASSIGN_OR_RETURN(ScalarExprPtr scalar, BindScalar(e));
+        if (grouped) {
+          // Must be exactly a grouping column.
+          if (scalar->kind != ScalarKind::kColumn) {
+            return Status::BindError(
+                "non-aggregate select item must be a grouping column");
+          }
+          auto it = std::find(query_->group_by.begin(), query_->group_by.end(),
+                              scalar->column);
+          if (it == query_->group_by.end()) {
+            return Status::BindError("select item '" +
+                                     ColumnName(scalar->column) +
+                                     "' is not in GROUP BY");
+          }
+          out.kind = OutputCol::Kind::kGroupKey;
+          out.index = static_cast<int>(it - query_->group_by.begin());
+          out.type = scalar->type;
+          out.name = item.alias.empty() ? ColumnName(scalar->column)
+                                        : item.alias;
+        } else {
+          out.kind = OutputCol::Kind::kScalar;
+          out.type = scalar->type;
+          out.name = item.alias.empty()
+                         ? (scalar->kind == ScalarKind::kColumn
+                                ? ColumnName(scalar->column)
+                                : "expr_" +
+                                      std::to_string(query_->outputs.size()))
+                         : item.alias;
+          out.scalar = std::move(scalar);
+        }
+      }
+      query_->outputs.push_back(std::move(out));
+    }
+    return Status::OK();
+  }
+
+  Status BindOrderBy() {
+    for (const auto& item : stmt_.order_by) {
+      OrderSpec spec;
+      spec.desc = item.desc;
+      const Expr& e = *item.expr;
+      int idx = -1;
+      if (e.kind == ExprKind::kIntLit) {
+        // 1-based output position.
+        if (e.int_value < 1 ||
+            e.int_value > static_cast<int64_t>(query_->outputs.size())) {
+          return Status::BindError("ORDER BY position out of range");
+        }
+        idx = static_cast<int>(e.int_value - 1);
+      } else if (e.kind == ExprKind::kColumnRef) {
+        // Try alias/name match first, then source-column match.
+        for (size_t i = 0; i < query_->outputs.size(); ++i) {
+          if (e.qualifier.empty() && query_->outputs[i].name == e.column) {
+            idx = static_cast<int>(i);
+            break;
+          }
+        }
+        if (idx < 0) {
+          auto ref = ResolveColumn(e.qualifier, e.column);
+          if (ref.ok()) {
+            for (size_t i = 0; i < query_->outputs.size(); ++i) {
+              const OutputCol& out = query_->outputs[i];
+              ColRef src{-1, -1};
+              if (out.kind == OutputCol::Kind::kGroupKey) {
+                src = query_->group_by[out.index];
+              } else if (out.kind == OutputCol::Kind::kScalar &&
+                         out.scalar->kind == ScalarKind::kColumn) {
+                src = out.scalar->column;
+              }
+              if (src == ref.value()) {
+                idx = static_cast<int>(i);
+                break;
+              }
+            }
+          }
+        }
+        if (idx < 0) {
+          return Status::BindError("ORDER BY item '" + e.column +
+                                   "' does not match an output column");
+        }
+      } else {
+        return Status::BindError(
+            "ORDER BY supports output names, columns and positions");
+      }
+      spec.output_index = idx;
+      query_->order_by.push_back(spec);
+    }
+    return Status::OK();
+  }
+
+  const SelectStmt& stmt_;
+  const Catalog& catalog_;
+  std::unique_ptr<BoundQuery> query_;
+};
+
+}  // namespace
+
+Result<std::unique_ptr<BoundQuery>> Bind(const SelectStmt& stmt,
+                                         const Catalog& catalog) {
+  Binder binder(stmt, catalog);
+  return binder.Run();
+}
+
+Result<std::unique_ptr<BoundQuery>> ParseAndBind(const std::string& sql,
+                                                 const Catalog& catalog) {
+  HQ_ASSIGN_OR_RETURN(std::unique_ptr<SelectStmt> stmt, Parse(sql));
+  return Bind(*stmt, catalog);
+}
+
+}  // namespace hique::sql

@@ -1,0 +1,25 @@
+#ifndef HIQUE_SQL_BINDER_H_
+#define HIQUE_SQL_BINDER_H_
+
+#include <memory>
+
+#include "sql/ast.h"
+#include "sql/bound.h"
+#include "storage/catalog.h"
+#include "util/status.h"
+
+namespace hique::sql {
+
+/// Validates a parsed SELECT against the catalogue and produces the bound
+/// query: resolved column coordinates, typed expressions, the WHERE clause
+/// decomposed into per-table filters and equi-join predicates.
+Result<std::unique_ptr<BoundQuery>> Bind(const SelectStmt& stmt,
+                                         const Catalog& catalog);
+
+/// Convenience: parse + bind.
+Result<std::unique_ptr<BoundQuery>> ParseAndBind(const std::string& sql,
+                                                 const Catalog& catalog);
+
+}  // namespace hique::sql
+
+#endif  // HIQUE_SQL_BINDER_H_

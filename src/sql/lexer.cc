@@ -1,0 +1,129 @@
+#include "sql/lexer.h"
+
+#include <cctype>
+#include <unordered_set>
+
+namespace hique::sql {
+namespace {
+
+const std::unordered_set<std::string>& Keywords() {
+  static const auto* kw = new std::unordered_set<std::string>{
+      "SELECT", "FROM", "WHERE", "GROUP",  "BY",  "ORDER", "ASC",
+      "DESC",   "LIMIT", "AS",   "AND",    "SUM", "COUNT", "AVG",
+      "MIN",    "MAX",   "DATE",
+  };
+  return *kw;
+}
+
+}  // namespace
+
+Result<std::vector<Token>> Tokenize(const std::string& input) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  const size_t n = input.size();
+  while (i < n) {
+    char c = input[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    Token tok;
+    tok.position = i;
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t start = i;
+      while (i < n && (std::isalnum(static_cast<unsigned char>(input[i])) ||
+                       input[i] == '_')) {
+        ++i;
+      }
+      std::string word = input.substr(start, i - start);
+      std::string upper = word;
+      for (char& ch : upper) ch = static_cast<char>(std::toupper(ch));
+      if (Keywords().count(upper)) {
+        tok.type = TokenType::kKeyword;
+        tok.text = upper;
+      } else {
+        tok.type = TokenType::kIdent;
+        for (char& ch : word) ch = static_cast<char>(std::tolower(ch));
+        tok.text = word;
+      }
+      tokens.push_back(std::move(tok));
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      size_t start = i;
+      bool is_float = false;
+      while (i < n && std::isdigit(static_cast<unsigned char>(input[i]))) ++i;
+      if (i < n && input[i] == '.') {
+        is_float = true;
+        ++i;
+        while (i < n && std::isdigit(static_cast<unsigned char>(input[i]))) {
+          ++i;
+        }
+      }
+      std::string num = input.substr(start, i - start);
+      if (is_float) {
+        tok.type = TokenType::kFloatLiteral;
+        tok.float_value = std::stod(num);
+      } else {
+        tok.type = TokenType::kIntLiteral;
+        tok.int_value = std::stoll(num);
+      }
+      tok.text = num;
+      tokens.push_back(std::move(tok));
+      continue;
+    }
+    if (c == '\'') {
+      ++i;
+      std::string text;
+      bool closed = false;
+      while (i < n) {
+        if (input[i] == '\'') {
+          if (i + 1 < n && input[i + 1] == '\'') {  // escaped quote
+            text += '\'';
+            i += 2;
+            continue;
+          }
+          closed = true;
+          ++i;
+          break;
+        }
+        text += input[i++];
+      }
+      if (!closed) {
+        return Status::ParseError("unterminated string literal at offset " +
+                                  std::to_string(tok.position));
+      }
+      tok.type = TokenType::kStringLiteral;
+      tok.text = std::move(text);
+      tokens.push_back(std::move(tok));
+      continue;
+    }
+    // Two-character operators first.
+    if (i + 1 < n) {
+      std::string two = input.substr(i, 2);
+      if (two == "<>" || two == "!=" || two == "<=" || two == ">=") {
+        tok.type = TokenType::kSymbol;
+        tok.text = two == "!=" ? "<>" : two;
+        tokens.push_back(std::move(tok));
+        i += 2;
+        continue;
+      }
+    }
+    if (std::string("(),*+-/=<>.;").find(c) != std::string::npos) {
+      tok.type = TokenType::kSymbol;
+      tok.text = std::string(1, c);
+      tokens.push_back(std::move(tok));
+      ++i;
+      continue;
+    }
+    return Status::ParseError(std::string("unexpected character '") + c +
+                              "' at offset " + std::to_string(i));
+  }
+  Token end;
+  end.type = TokenType::kEnd;
+  end.position = n;
+  tokens.push_back(end);
+  return tokens;
+}
+
+}  // namespace hique::sql

@@ -1,0 +1,37 @@
+#ifndef HIQUE_SQL_LEXER_H_
+#define HIQUE_SQL_LEXER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace hique::sql {
+
+enum class TokenType {
+  kIdent,
+  kKeyword,
+  kIntLiteral,
+  kFloatLiteral,
+  kStringLiteral,
+  kSymbol,  // punctuation / operators
+  kEnd,
+};
+
+struct Token {
+  TokenType type = TokenType::kEnd;
+  std::string text;    // keywords upper-cased, identifiers lower-cased
+  int64_t int_value = 0;
+  double float_value = 0;
+  size_t position = 0;  // byte offset for diagnostics
+};
+
+/// Tokenizes a SQL string. Keywords recognised: SELECT FROM WHERE GROUP BY
+/// ORDER ASC DESC LIMIT AS AND SUM COUNT AVG MIN MAX DATE. Symbols:
+/// , ( ) * + - / = <> != < <= > >= . ;
+Result<std::vector<Token>> Tokenize(const std::string& input);
+
+}  // namespace hique::sql
+
+#endif  // HIQUE_SQL_LEXER_H_

@@ -1,0 +1,297 @@
+#include "sql/parser.h"
+
+#include "sql/lexer.h"
+#include "storage/types.h"
+
+namespace hique::sql {
+namespace {
+
+/// Recursive-descent parser over the token stream. Expression precedence:
+/// AND < comparison < additive < multiplicative < primary.
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<std::unique_ptr<SelectStmt>> ParseSelect() {
+    HQ_RETURN_IF_ERROR(ExpectKeyword("SELECT"));
+    auto stmt = std::make_unique<SelectStmt>();
+
+    // Select list.
+    while (true) {
+      SelectItem item;
+      HQ_ASSIGN_OR_RETURN(item.expr, ParseAdditive());
+      if (MatchKeyword("AS")) {
+        HQ_ASSIGN_OR_RETURN(item.alias, ExpectIdent());
+      } else if (Peek().type == TokenType::kIdent) {
+        // Implicit alias: `expr name`
+        item.alias = Peek().text;
+        Advance();
+      }
+      stmt->items.push_back(std::move(item));
+      if (!MatchSymbol(",")) break;
+    }
+
+    HQ_RETURN_IF_ERROR(ExpectKeyword("FROM"));
+    while (true) {
+      TableRefAst ref;
+      HQ_ASSIGN_OR_RETURN(ref.table, ExpectIdent());
+      if (MatchKeyword("AS")) {
+        HQ_ASSIGN_OR_RETURN(ref.alias, ExpectIdent());
+      } else if (Peek().type == TokenType::kIdent) {
+        ref.alias = Peek().text;
+        Advance();
+      } else {
+        ref.alias = ref.table;
+      }
+      stmt->from.push_back(std::move(ref));
+      if (!MatchSymbol(",")) break;
+    }
+
+    if (MatchKeyword("WHERE")) {
+      HQ_ASSIGN_OR_RETURN(stmt->where, ParseConjunction());
+    }
+    if (MatchKeyword("GROUP")) {
+      HQ_RETURN_IF_ERROR(ExpectKeyword("BY"));
+      while (true) {
+        HQ_ASSIGN_OR_RETURN(ExprPtr col, ParsePrimary());
+        if (col->kind != ExprKind::kColumnRef) {
+          return Status::ParseError("GROUP BY supports column references");
+        }
+        stmt->group_by.push_back(std::move(col));
+        if (!MatchSymbol(",")) break;
+      }
+    }
+    if (MatchKeyword("ORDER")) {
+      HQ_RETURN_IF_ERROR(ExpectKeyword("BY"));
+      while (true) {
+        OrderItem item;
+        HQ_ASSIGN_OR_RETURN(item.expr, ParseAdditive());
+        if (MatchKeyword("DESC")) {
+          item.desc = true;
+        } else {
+          MatchKeyword("ASC");
+        }
+        stmt->order_by.push_back(std::move(item));
+        if (!MatchSymbol(",")) break;
+      }
+    }
+    if (MatchKeyword("LIMIT")) {
+      if (Peek().type != TokenType::kIntLiteral) {
+        return Status::ParseError("LIMIT expects an integer");
+      }
+      stmt->limit = Peek().int_value;
+      Advance();
+    }
+    MatchSymbol(";");
+    if (Peek().type != TokenType::kEnd) {
+      return Status::ParseError("unexpected trailing input: '" + Peek().text +
+                                "'");
+    }
+    return stmt;
+  }
+
+ private:
+  const Token& Peek() const { return tokens_[pos_]; }
+  void Advance() { ++pos_; }
+
+  bool MatchKeyword(const char* kw) {
+    if (Peek().type == TokenType::kKeyword && Peek().text == kw) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+  bool MatchSymbol(const char* sym) {
+    if (Peek().type == TokenType::kSymbol && Peek().text == sym) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+  Status ExpectKeyword(const char* kw) {
+    if (!MatchKeyword(kw)) {
+      return Status::ParseError(std::string("expected ") + kw + " near '" +
+                                Peek().text + "'");
+    }
+    return Status::OK();
+  }
+  Result<std::string> ExpectIdent() {
+    if (Peek().type != TokenType::kIdent) {
+      return Status::ParseError("expected identifier near '" + Peek().text +
+                                "'");
+    }
+    std::string name = Peek().text;
+    Advance();
+    return name;
+  }
+
+  // conjunction := comparison (AND comparison)*
+  Result<ExprPtr> ParseConjunction() {
+    HQ_ASSIGN_OR_RETURN(ExprPtr left, ParseComparison());
+    while (MatchKeyword("AND")) {
+      HQ_ASSIGN_OR_RETURN(ExprPtr right, ParseComparison());
+      left = Expr::Binary(BinaryOp::kAnd, std::move(left), std::move(right));
+    }
+    return left;
+  }
+
+  // comparison := additive (op additive)?
+  Result<ExprPtr> ParseComparison() {
+    HQ_ASSIGN_OR_RETURN(ExprPtr left, ParseAdditive());
+    BinaryOp op;
+    if (MatchSymbol("=")) {
+      op = BinaryOp::kEq;
+    } else if (MatchSymbol("<>")) {
+      op = BinaryOp::kNe;
+    } else if (MatchSymbol("<=")) {
+      op = BinaryOp::kLe;
+    } else if (MatchSymbol(">=")) {
+      op = BinaryOp::kGe;
+    } else if (MatchSymbol("<")) {
+      op = BinaryOp::kLt;
+    } else if (MatchSymbol(">")) {
+      op = BinaryOp::kGt;
+    } else {
+      return Status::ParseError("expected comparison operator near '" +
+                                Peek().text + "'");
+    }
+    HQ_ASSIGN_OR_RETURN(ExprPtr right, ParseAdditive());
+    return Expr::Binary(op, std::move(left), std::move(right));
+  }
+
+  Result<ExprPtr> ParseAdditive() {
+    HQ_ASSIGN_OR_RETURN(ExprPtr left, ParseMultiplicative());
+    while (true) {
+      if (MatchSymbol("+")) {
+        HQ_ASSIGN_OR_RETURN(ExprPtr right, ParseMultiplicative());
+        left = Expr::Binary(BinaryOp::kAdd, std::move(left), std::move(right));
+      } else if (MatchSymbol("-")) {
+        HQ_ASSIGN_OR_RETURN(ExprPtr right, ParseMultiplicative());
+        left = Expr::Binary(BinaryOp::kSub, std::move(left), std::move(right));
+      } else {
+        return left;
+      }
+    }
+  }
+
+  Result<ExprPtr> ParseMultiplicative() {
+    HQ_ASSIGN_OR_RETURN(ExprPtr left, ParsePrimary());
+    while (true) {
+      if (MatchSymbol("*")) {
+        HQ_ASSIGN_OR_RETURN(ExprPtr right, ParsePrimary());
+        left = Expr::Binary(BinaryOp::kMul, std::move(left), std::move(right));
+      } else if (MatchSymbol("/")) {
+        HQ_ASSIGN_OR_RETURN(ExprPtr right, ParsePrimary());
+        left = Expr::Binary(BinaryOp::kDiv, std::move(left), std::move(right));
+      } else {
+        return left;
+      }
+    }
+  }
+
+  Result<ExprPtr> ParsePrimary() {
+    const Token& tok = Peek();
+    switch (tok.type) {
+      case TokenType::kIntLiteral: {
+        int64_t v = tok.int_value;
+        Advance();
+        return Expr::Int(v);
+      }
+      case TokenType::kFloatLiteral: {
+        double v = tok.float_value;
+        Advance();
+        return Expr::Float(v);
+      }
+      case TokenType::kStringLiteral: {
+        std::string v = tok.text;
+        Advance();
+        return Expr::String(std::move(v));
+      }
+      case TokenType::kKeyword: {
+        if (tok.text == "DATE") {
+          Advance();
+          if (Peek().type != TokenType::kStringLiteral) {
+            return Status::ParseError("DATE expects a 'YYYY-MM-DD' literal");
+          }
+          HQ_ASSIGN_OR_RETURN(int32_t days, ParseDate(Peek().text));
+          Advance();
+          return Expr::DateLit(days);
+        }
+        ParseAggFunc func;
+        if (tok.text == "SUM") {
+          func = ParseAggFunc::kSum;
+        } else if (tok.text == "COUNT") {
+          func = ParseAggFunc::kCount;
+        } else if (tok.text == "AVG") {
+          func = ParseAggFunc::kAvg;
+        } else if (tok.text == "MIN") {
+          func = ParseAggFunc::kMin;
+        } else if (tok.text == "MAX") {
+          func = ParseAggFunc::kMax;
+        } else {
+          return Status::ParseError("unexpected keyword '" + tok.text + "'");
+        }
+        Advance();
+        if (!MatchSymbol("(")) {
+          return Status::ParseError("expected '(' after aggregate function");
+        }
+        if (func == ParseAggFunc::kCount && MatchSymbol("*")) {
+          if (!MatchSymbol(")")) {
+            return Status::ParseError("expected ')' after COUNT(*)");
+          }
+          return Expr::Aggregate(ParseAggFunc::kCount, nullptr);
+        }
+        HQ_ASSIGN_OR_RETURN(ExprPtr arg, ParseAdditive());
+        if (!MatchSymbol(")")) {
+          return Status::ParseError("expected ')' after aggregate argument");
+        }
+        return Expr::Aggregate(func, std::move(arg));
+      }
+      case TokenType::kIdent: {
+        std::string first = tok.text;
+        Advance();
+        if (MatchSymbol(".")) {
+          HQ_ASSIGN_OR_RETURN(std::string col, ExpectIdent());
+          return Expr::Column(first, std::move(col));
+        }
+        return Expr::Column("", std::move(first));
+      }
+      case TokenType::kSymbol: {
+        if (tok.text == "(") {
+          Advance();
+          HQ_ASSIGN_OR_RETURN(ExprPtr inner, ParseAdditive());
+          if (!MatchSymbol(")")) {
+            return Status::ParseError("expected ')'");
+          }
+          return inner;
+        }
+        return Status::ParseError("unexpected symbol '" + tok.text + "'");
+      }
+      case TokenType::kEnd:
+        return Status::ParseError("unexpected end of input");
+    }
+    return Status::ParseError("unexpected token");
+  }
+
+  static Result<int32_t> ParseDate(const std::string& text) {
+    int y, m, d;
+    if (std::sscanf(text.c_str(), "%d-%d-%d", &y, &m, &d) != 3 || m < 1 ||
+        m > 12 || d < 1 || d > 31) {
+      return Status::ParseError("malformed date literal '" + text + "'");
+    }
+    return DateToDays(y, m, d);
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<std::unique_ptr<SelectStmt>> Parse(const std::string& sql) {
+  HQ_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(sql));
+  Parser parser(std::move(tokens));
+  return parser.ParseSelect();
+}
+
+}  // namespace hique::sql

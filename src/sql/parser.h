@@ -1,0 +1,17 @@
+#ifndef HIQUE_SQL_PARSER_H_
+#define HIQUE_SQL_PARSER_H_
+
+#include <memory>
+#include <string>
+
+#include "sql/ast.h"
+#include "util/status.h"
+
+namespace hique::sql {
+
+/// Parses one SELECT statement. See ast.h for the supported grammar.
+Result<std::unique_ptr<SelectStmt>> Parse(const std::string& sql);
+
+}  // namespace hique::sql
+
+#endif  // HIQUE_SQL_PARSER_H_

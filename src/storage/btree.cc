@@ -1,0 +1,294 @@
+#include "storage/btree.h"
+
+#include <cstdlib>
+#include <cstring>
+
+#include "util/macros.h"
+
+namespace hique {
+
+// Node layout inside a 1024-byte slot.
+//   header: count:u16, is_leaf:u8, pad:u8, next:u32 (leaf chain)
+//   leaf:  keys[kLeafCap] int64, rids[kLeafCap] u64
+//   inner: keys[kInnerCap] int64, children[kInnerCap + 1] u32
+struct BTree::Node {
+  uint16_t count;
+  uint8_t is_leaf;
+  uint8_t pad;
+  NodeId next;
+
+  static constexpr uint32_t kHeader = 8;
+  static constexpr uint32_t kLeafCap = (kNodeSize - kHeader) / 16;       // 63
+  static constexpr uint32_t kInnerCap = (kNodeSize - kHeader - 4) / 12;  // 84
+
+  int64_t* Keys() {
+    return reinterpret_cast<int64_t*>(reinterpret_cast<uint8_t*>(this) +
+                                      kHeader);
+  }
+  uint64_t* Rids() { return reinterpret_cast<uint64_t*>(Keys() + kLeafCap); }
+  NodeId* Children() {
+    return reinterpret_cast<NodeId*>(Keys() + kInnerCap);
+  }
+  const int64_t* Keys() const { return const_cast<Node*>(this)->Keys(); }
+  const uint64_t* Rids() const { return const_cast<Node*>(this)->Rids(); }
+  const NodeId* Children() const {
+    return const_cast<Node*>(this)->Children();
+  }
+
+  // First position with keys[pos] >= key.
+  uint32_t LowerBound(int64_t key) const {
+    uint32_t lo = 0, hi = count;
+    const int64_t* keys = Keys();
+    while (lo < hi) {
+      uint32_t mid = (lo + hi) / 2;
+      if (keys[mid] < key) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo;
+  }
+  // First position with keys[pos] > key.
+  uint32_t UpperBound(int64_t key) const {
+    uint32_t lo = 0, hi = count;
+    const int64_t* keys = Keys();
+    while (lo < hi) {
+      uint32_t mid = (lo + hi) / 2;
+      if (keys[mid] <= key) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo;
+  }
+};
+
+static_assert(BTree::kNodeSize % sizeof(int64_t) == 0, "node alignment");
+
+BTree::BTree() { root_ = AllocNode(/*leaf=*/true); }
+
+BTree::~BTree() {
+  for (uint8_t* p : pages_) std::free(p);
+}
+
+BTree::Node* BTree::GetNode(NodeId id) const {
+  HQ_DCHECK(id != kInvalidNode);
+  uint8_t* page = pages_[id / kNodesPerPage];
+  return reinterpret_cast<Node*>(page + (id % kNodesPerPage) * kNodeSize);
+}
+
+BTree::NodeId BTree::AllocNode(bool leaf) {
+  if (next_node_ % kNodesPerPage == 0) {
+    void* mem = nullptr;
+    int rc = posix_memalign(&mem, kPageSize, kPageSize);
+    HQ_CHECK_MSG(rc == 0 && mem != nullptr, "btree page allocation failed");
+    std::memset(mem, 0, kPageSize);
+    pages_.push_back(static_cast<uint8_t*>(mem));
+  }
+  NodeId id = next_node_++;
+  Node* n = GetNode(id);
+  n->count = 0;
+  n->is_leaf = leaf ? 1 : 0;
+  n->next = kInvalidNode;
+  return id;
+}
+
+bool BTree::InsertRecurse(NodeId node_id, int64_t key, Rid rid,
+                          int64_t* split_key, NodeId* new_node) {
+  Node* node = GetNode(node_id);
+  if (node->is_leaf) {
+    uint32_t pos = node->UpperBound(key);  // duplicates append after equals
+    int64_t* keys = node->Keys();
+    uint64_t* rids = node->Rids();
+    std::memmove(keys + pos + 1, keys + pos, (node->count - pos) * 8);
+    std::memmove(rids + pos + 1, rids + pos, (node->count - pos) * 8);
+    keys[pos] = key;
+    rids[pos] = rid;
+    ++node->count;
+    if (node->count < Node::kLeafCap) return false;
+
+    // Split the full leaf in half; right half moves to a new node.
+    NodeId right_id = AllocNode(/*leaf=*/true);
+    Node* left = GetNode(node_id);  // realloc-safe: refetch after AllocNode
+    Node* right = GetNode(right_id);
+    uint32_t mid = left->count / 2;
+    right->count = left->count - mid;
+    std::memcpy(right->Keys(), left->Keys() + mid, right->count * 8);
+    std::memcpy(right->Rids(), left->Rids() + mid, right->count * 8);
+    left->count = static_cast<uint16_t>(mid);
+    right->next = left->next;
+    left->next = right_id;
+    *split_key = right->Keys()[0];
+    *new_node = right_id;
+    return true;
+  }
+
+  uint32_t pos = node->UpperBound(key);
+  NodeId child = node->Children()[pos];
+  int64_t child_split_key;
+  NodeId child_new_node;
+  if (!InsertRecurse(child, key, rid, &child_split_key, &child_new_node)) {
+    return false;
+  }
+  node = GetNode(node_id);  // refetch: child split may have allocated pages
+  uint32_t ipos = node->UpperBound(child_split_key);
+  int64_t* keys = node->Keys();
+  NodeId* children = node->Children();
+  std::memmove(keys + ipos + 1, keys + ipos, (node->count - ipos) * 8);
+  std::memmove(children + ipos + 2, children + ipos + 1,
+               (node->count - ipos) * 4);
+  keys[ipos] = child_split_key;
+  children[ipos + 1] = child_new_node;
+  ++node->count;
+  if (node->count < Node::kInnerCap) return false;
+
+  NodeId right_id = AllocNode(/*leaf=*/false);
+  Node* left = GetNode(node_id);
+  Node* right = GetNode(right_id);
+  uint32_t mid = left->count / 2;  // keys[mid] is promoted
+  *split_key = left->Keys()[mid];
+  right->count = static_cast<uint16_t>(left->count - mid - 1);
+  std::memcpy(right->Keys(), left->Keys() + mid + 1, right->count * 8);
+  std::memcpy(right->Children(), left->Children() + mid + 1,
+              (right->count + 1) * 4);
+  left->count = static_cast<uint16_t>(mid);
+  *new_node = right_id;
+  return true;
+}
+
+void BTree::Insert(int64_t key, Rid rid) {
+  int64_t split_key;
+  NodeId new_node;
+  if (InsertRecurse(root_, key, rid, &split_key, &new_node)) {
+    NodeId new_root = AllocNode(/*leaf=*/false);
+    Node* r = GetNode(new_root);
+    r->count = 1;
+    r->Keys()[0] = split_key;
+    r->Children()[0] = root_;
+    r->Children()[1] = new_node;
+    root_ = new_root;
+    ++height_;
+  }
+  ++size_;
+}
+
+BTree::NodeId BTree::FindLeaf(int64_t key) const {
+  NodeId id = root_;
+  Node* node = GetNode(id);
+  while (!node->is_leaf) {
+    id = node->Children()[node->UpperBound(key)];
+    node = GetNode(id);
+  }
+  return id;
+}
+
+void BTree::Lookup(int64_t key, std::vector<Rid>* out) const {
+  // Duplicates of `key` may start in an earlier leaf; descend with
+  // LowerBound semantics by scanning from the first candidate leaf.
+  NodeId id = root_;
+  Node* node = GetNode(id);
+  while (!node->is_leaf) {
+    id = node->Children()[node->LowerBound(key)];
+    node = GetNode(id);
+  }
+  while (id != kInvalidNode) {
+    node = GetNode(id);
+    uint32_t pos = node->LowerBound(key);
+    if (pos == node->count) {
+      if (node->count > 0 && node->Keys()[node->count - 1] > key) return;
+      id = node->next;
+      continue;
+    }
+    for (uint32_t i = pos; i < node->count; ++i) {
+      if (node->Keys()[i] != key) return;
+      out->push_back(node->Rids()[i]);
+    }
+    id = node->next;
+  }
+}
+
+void BTree::RangeScan(int64_t lo, int64_t hi,
+                      std::vector<std::pair<int64_t, Rid>>* out) const {
+  if (lo > hi) return;
+  NodeId id = root_;
+  Node* node = GetNode(id);
+  while (!node->is_leaf) {
+    id = node->Children()[node->LowerBound(lo)];
+    node = GetNode(id);
+  }
+  while (id != kInvalidNode) {
+    node = GetNode(id);
+    for (uint32_t i = node->LowerBound(lo); i < node->count; ++i) {
+      if (node->Keys()[i] > hi) return;
+      out->emplace_back(node->Keys()[i], node->Rids()[i]);
+    }
+    id = node->next;
+  }
+}
+
+bool BTree::Erase(int64_t key, Rid rid) {
+  NodeId id = root_;
+  Node* node = GetNode(id);
+  while (!node->is_leaf) {
+    id = node->Children()[node->LowerBound(key)];
+    node = GetNode(id);
+  }
+  while (id != kInvalidNode) {
+    node = GetNode(id);
+    for (uint32_t i = node->LowerBound(key); i < node->count; ++i) {
+      if (node->Keys()[i] > key) return false;
+      if (node->Keys()[i] == key && node->Rids()[i] == rid) {
+        std::memmove(node->Keys() + i, node->Keys() + i + 1,
+                     (node->count - i - 1) * 8);
+        std::memmove(node->Rids() + i, node->Rids() + i + 1,
+                     (node->count - i - 1) * 8);
+        --node->count;
+        --size_;
+        return true;
+      }
+    }
+    id = node->next;
+  }
+  return false;
+}
+
+namespace {
+Status Violation(const std::string& what) {
+  return Status::Internal("btree invariant violated: " + what);
+}
+}  // namespace
+
+Status BTree::CheckInvariants() const {
+  // Walk the leaf chain from the leftmost leaf and verify global ordering.
+  NodeId id = root_;
+  Node* node = GetNode(id);
+  uint32_t depth = 1;
+  while (!node->is_leaf) {
+    if (node->count == 0) return Violation("empty inner node");
+    id = node->Children()[0];
+    node = GetNode(id);
+    ++depth;
+  }
+  if (depth != height_) return Violation("height mismatch");
+  uint64_t seen = 0;
+  bool have_prev = false;
+  int64_t prev = 0;
+  while (id != kInvalidNode) {
+    node = GetNode(id);
+    for (uint32_t i = 0; i < node->count; ++i) {
+      int64_t k = node->Keys()[i];
+      if (have_prev && k < prev) return Violation("leaf keys out of order");
+      prev = k;
+      have_prev = true;
+      ++seen;
+    }
+    if (node->count >= Node::kLeafCap) return Violation("overfull leaf");
+    id = node->next;
+  }
+  if (seen != size_) return Violation("leaf chain misses entries");
+  return Status::OK();
+}
+
+}  // namespace hique

@@ -1,0 +1,83 @@
+#ifndef HIQUE_STORAGE_BTREE_H_
+#define HIQUE_STORAGE_BTREE_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "storage/page.h"
+#include "util/status.h"
+
+namespace hique {
+
+/// Record identifier: page number << 16 | slot.
+using Rid = uint64_t;
+
+inline Rid MakeRid(uint64_t page_no, uint32_t slot) {
+  return (page_no << 16) | slot;
+}
+inline uint64_t RidPage(Rid rid) { return rid >> 16; }
+inline uint32_t RidSlot(Rid rid) { return static_cast<uint32_t>(rid & 0xFFFF); }
+
+/// Memory-efficient index in the style the paper adopts (§IV): fractal
+/// B+-trees [Chen et al., SIGMOD'02], where each 4096-byte physical page is
+/// divided into four 1024-byte tree nodes. Keys are int64 (all scalar column
+/// types embed into int64 order-preservingly), values are Rids.
+///
+/// Supported operations: insert, exact lookup (all duplicates), range scan,
+/// and lazy delete (key removal without structural rebalancing — standard
+/// for read-mostly analytical indexes).
+class BTree {
+ public:
+  static constexpr uint32_t kNodeSize = 1024;
+  static constexpr uint32_t kNodesPerPage = kPageSize / kNodeSize;
+
+  BTree();
+  ~BTree();
+  BTree(const BTree&) = delete;
+  BTree& operator=(const BTree&) = delete;
+
+  void Insert(int64_t key, Rid rid);
+
+  /// Appends all rids with exactly `key` to `out`.
+  void Lookup(int64_t key, std::vector<Rid>* out) const;
+
+  /// Appends all (key, rid) pairs with lo <= key <= hi, in key order.
+  void RangeScan(int64_t lo, int64_t hi,
+                 std::vector<std::pair<int64_t, Rid>>* out) const;
+
+  /// Removes one (key, rid) entry. Returns false if not present.
+  bool Erase(int64_t key, Rid rid);
+
+  uint64_t size() const { return size_; }
+  uint32_t height() const { return height_; }
+  uint64_t physical_pages() const { return pages_.size(); }
+
+  /// Validation hook for tests: checks key ordering, fanout bounds and leaf
+  /// chain consistency. Returns a failed status describing the violation.
+  Status CheckInvariants() const;
+
+ private:
+  struct Node;
+  using NodeId = uint32_t;
+  static constexpr NodeId kInvalidNode = 0xFFFFFFFF;
+
+  Node* GetNode(NodeId id) const;
+  NodeId AllocNode(bool leaf);
+  NodeId FindLeaf(int64_t key) const;
+
+  // Inserts into a leaf/inner node, splitting when full. On split, sets
+  // *split_key / *new_node for the parent to absorb.
+  bool InsertRecurse(NodeId node_id, int64_t key, Rid rid, int64_t* split_key,
+                     NodeId* new_node);
+
+  std::vector<uint8_t*> pages_;  // 4096-byte aligned physical pages
+  uint32_t next_node_ = 0;       // bump allocator over page slots
+  NodeId root_ = kInvalidNode;
+  uint64_t size_ = 0;
+  uint32_t height_ = 1;
+};
+
+}  // namespace hique
+
+#endif  // HIQUE_STORAGE_BTREE_H_

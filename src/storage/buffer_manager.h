@@ -1,0 +1,96 @@
+#ifndef HIQUE_STORAGE_BUFFER_MANAGER_H_
+#define HIQUE_STORAGE_BUFFER_MANAGER_H_
+
+#include <cstdint>
+#include <list>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "storage/page.h"
+#include "util/status.h"
+
+namespace hique {
+
+using FileId = uint32_t;
+
+/// Buffer manager for file-backed tables (paper §IV: LRU replacement,
+/// page-granular I/O). Pages are fetched into a fixed pool of frames; pinned
+/// frames are never evicted; unpinned frames are recycled in LRU order with
+/// dirty write-back.
+///
+/// Main-memory query execution (the paper's regime) pins a table's pages for
+/// the duration of a query; the pool must therefore be sized to the working
+/// set, exactly as the paper sizes its machine so the TPC-H data fits in RAM.
+class BufferManager {
+ public:
+  explicit BufferManager(size_t frame_capacity);
+  ~BufferManager();
+
+  BufferManager(const BufferManager&) = delete;
+  BufferManager& operator=(const BufferManager&) = delete;
+
+  /// Opens (or creates) a paged file.
+  Result<FileId> OpenFile(const std::string& path, bool create);
+
+  /// Number of pages currently in the file.
+  Result<uint64_t> FilePageCount(FileId file);
+
+  /// Appends a zeroed page to the file and returns it pinned.
+  Result<Page*> NewPage(FileId file, uint64_t* page_no);
+
+  /// Fetches a page, pinning its frame.
+  Result<Page*> FetchPage(FileId file, uint64_t page_no);
+
+  /// Releases one pin; `dirty` marks the frame for write-back.
+  void Unpin(FileId file, uint64_t page_no, bool dirty);
+
+  /// Writes all dirty frames back to their files.
+  Status FlushAll();
+
+  size_t frame_capacity() const { return frames_.size(); }
+  uint64_t hit_count() const { return hits_; }
+  uint64_t miss_count() const { return misses_; }
+  uint64_t eviction_count() const { return evictions_; }
+
+ private:
+  struct FrameMeta {
+    FileId file = 0;
+    uint64_t page_no = 0;
+    int pin_count = 0;
+    bool dirty = false;
+    bool valid = false;
+    std::list<size_t>::iterator lru_pos;  // valid iff pin_count == 0 && valid
+    bool in_lru = false;
+  };
+  struct OpenFileState {
+    std::string path;
+    int fd = -1;
+    uint64_t page_count = 0;
+  };
+
+  using PageKey = std::pair<FileId, uint64_t>;
+  struct PageKeyHash {
+    size_t operator()(const PageKey& k) const {
+      return std::hash<uint64_t>()((static_cast<uint64_t>(k.first) << 40) ^
+                                   k.second);
+    }
+  };
+
+  Result<size_t> GetVictimFrame();
+  Status WriteBack(size_t frame_index);
+  Result<Page*> PinExisting(size_t frame_index);
+
+  std::vector<Page*> frames_;           // frame storage (aligned heap pages)
+  std::vector<FrameMeta> meta_;
+  std::list<size_t> lru_;               // front = least recently used
+  std::unordered_map<PageKey, size_t, PageKeyHash> page_table_;
+  std::vector<OpenFileState> files_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+  uint64_t evictions_ = 0;
+};
+
+}  // namespace hique
+
+#endif  // HIQUE_STORAGE_BUFFER_MANAGER_H_

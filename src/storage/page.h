@@ -1,0 +1,45 @@
+#ifndef HIQUE_STORAGE_PAGE_H_
+#define HIQUE_STORAGE_PAGE_H_
+
+#include <cstdint>
+#include <cstring>
+
+namespace hique {
+
+/// Fixed page geometry, matching the paper (§IV): tuples are stored
+/// consecutively in 4096-byte NSM pages. The 8-byte header keeps the tuple
+/// area 8-aligned so generated code can cast field pointers directly.
+inline constexpr uint32_t kPageSize = 4096;
+inline constexpr uint32_t kPageHeaderSize = 8;
+inline constexpr uint32_t kPageDataSize = kPageSize - kPageHeaderSize;
+
+/// An NSM page: [num_tuples:u32][reserved:u32][tuple0][tuple1]...
+/// Layout is identical on the engine side and inside generated query code
+/// (see codegen/runtime_abi.h) — the two views must never diverge.
+struct alignas(8) Page {
+  uint32_t num_tuples;
+  uint32_t reserved;
+  uint8_t data[kPageDataSize];
+
+  void Reset() {
+    num_tuples = 0;
+    reserved = 0;
+  }
+
+  static uint32_t TuplesPerPage(uint32_t tuple_size) {
+    return kPageDataSize / tuple_size;
+  }
+
+  uint8_t* TupleAt(uint32_t slot, uint32_t tuple_size) {
+    return data + static_cast<size_t>(slot) * tuple_size;
+  }
+  const uint8_t* TupleAt(uint32_t slot, uint32_t tuple_size) const {
+    return data + static_cast<size_t>(slot) * tuple_size;
+  }
+};
+
+static_assert(sizeof(Page) == kPageSize, "Page must be exactly 4096 bytes");
+
+}  // namespace hique
+
+#endif  // HIQUE_STORAGE_PAGE_H_

@@ -1,0 +1,111 @@
+#include "storage/schema.h"
+
+#include <cstring>
+
+namespace hique {
+
+namespace {
+uint32_t AlignUp(uint32_t v, uint32_t a) { return (v + a - 1) / a * a; }
+}  // namespace
+
+void Schema::AddColumn(const std::string& name, Type type) {
+  uint32_t align = type.Alignment();
+  uint32_t offset = AlignUp(end_, align);
+  columns_.push_back({name, type});
+  offsets_.push_back(offset);
+  if (align > max_align_) max_align_ = align;
+  end_ = offset + type.ByteSize();
+  // The tuple footprint keeps 8-byte granularity so back-to-back tuples
+  // preserve every field's alignment inside a page.
+  tuple_size_ = AlignUp(end_, 8u);
+}
+
+int Schema::FindColumn(const std::string& name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+Value Schema::GetValue(const uint8_t* tuple, size_t i) const {
+  const Column& col = columns_[i];
+  const uint8_t* p = tuple + offsets_[i];
+  switch (col.type.id) {
+    case TypeId::kInt32: {
+      int32_t v;
+      std::memcpy(&v, p, 4);
+      return Value::Int32(v);
+    }
+    case TypeId::kDate: {
+      int32_t v;
+      std::memcpy(&v, p, 4);
+      return Value::Date(v);
+    }
+    case TypeId::kInt64: {
+      int64_t v;
+      std::memcpy(&v, p, 8);
+      return Value::Int64(v);
+    }
+    case TypeId::kDouble: {
+      double v;
+      std::memcpy(&v, p, 8);
+      return Value::Double(v);
+    }
+    case TypeId::kChar: {
+      return Value::Char(
+          std::string(reinterpret_cast<const char*>(p), col.type.length),
+          col.type.length);
+    }
+  }
+  return Value();
+}
+
+void Schema::SetValue(uint8_t* tuple, size_t i, const Value& v) const {
+  const Column& col = columns_[i];
+  uint8_t* p = tuple + offsets_[i];
+  switch (col.type.id) {
+    case TypeId::kInt32:
+    case TypeId::kDate: {
+      int32_t x = v.AsInt32();
+      std::memcpy(p, &x, 4);
+      break;
+    }
+    case TypeId::kInt64: {
+      int64_t x = v.AsInt64();
+      std::memcpy(p, &x, 8);
+      break;
+    }
+    case TypeId::kDouble: {
+      double x = v.AsDouble();
+      std::memcpy(p, &x, 8);
+      break;
+    }
+    case TypeId::kChar: {
+      const std::string& s = v.AsString();
+      size_t n = s.size() < col.type.length ? s.size() : col.type.length;
+      std::memcpy(p, s.data(), n);
+      if (n < col.type.length) std::memset(p + n, ' ', col.type.length - n);
+      break;
+    }
+  }
+}
+
+bool Schema::operator==(const Schema& other) const {
+  if (columns_.size() != other.columns_.size()) return false;
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (!(columns_[i].type == other.columns_[i].type)) return false;
+    if (columns_[i].name != other.columns_[i].name) return false;
+  }
+  return true;
+}
+
+std::string Schema::ToString() const {
+  std::string s;
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (i) s += ", ";
+    s += columns_[i].name + " " + columns_[i].type.ToString();
+  }
+  return s;
+}
+
+}  // namespace hique

@@ -1,0 +1,64 @@
+#ifndef HIQUE_STORAGE_SCHEMA_H_
+#define HIQUE_STORAGE_SCHEMA_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "storage/types.h"
+#include "storage/value.h"
+
+namespace hique {
+
+/// A named, typed column.
+struct Column {
+  std::string name;
+  Type type;
+};
+
+/// Tuple layout for NSM storage. Field offsets respect natural alignment so
+/// generated code can cast field pointers directly to primitive types
+/// (paper §V-B: "pointer casts and primitive data comparisons"), and the
+/// tuple size is rounded up to 8 bytes so tuples stay aligned when laid out
+/// back-to-back inside a page.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Column> columns) {
+    for (auto& c : columns) AddColumn(c.name, c.type);
+  }
+
+  void AddColumn(const std::string& name, Type type);
+
+  size_t NumColumns() const { return columns_.size(); }
+  const Column& ColumnAt(size_t i) const { return columns_[i]; }
+  uint32_t OffsetAt(size_t i) const { return offsets_[i]; }
+
+  /// Total tuple footprint including alignment padding.
+  uint32_t TupleSize() const { return tuple_size_; }
+
+  /// Index of the named column, or -1.
+  int FindColumn(const std::string& name) const;
+
+  /// Reads column `i` of the tuple at `tuple` into a boxed Value.
+  Value GetValue(const uint8_t* tuple, size_t i) const;
+
+  /// Writes a boxed Value into column `i` (value type must match).
+  void SetValue(uint8_t* tuple, size_t i, const Value& v) const;
+
+  bool operator==(const Schema& other) const;
+
+  /// "name TYPE, name TYPE, ..." rendering for diagnostics.
+  std::string ToString() const;
+
+ private:
+  std::vector<Column> columns_;
+  std::vector<uint32_t> offsets_;
+  uint32_t end_ = 0;  // unpadded end of the last field
+  uint32_t tuple_size_ = 0;
+  uint32_t max_align_ = 1;
+};
+
+}  // namespace hique
+
+#endif  // HIQUE_STORAGE_SCHEMA_H_

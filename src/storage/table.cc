@@ -1,0 +1,260 @@
+#include "storage/table.h"
+
+#include <cstdlib>
+#include <cstring>
+#include <set>
+#include <unordered_set>
+
+#include "util/macros.h"
+
+namespace hique {
+
+PinnedPages& PinnedPages::operator=(PinnedPages&& other) noexcept {
+  if (this != &other) {
+    Release();
+    pages_ = std::move(other.pages_);
+    buffer_manager_ = other.buffer_manager_;
+    file_ = other.file_;
+    other.pages_.clear();
+    other.buffer_manager_ = nullptr;
+  }
+  return *this;
+}
+
+void PinnedPages::Release() {
+  if (buffer_manager_ != nullptr) {
+    for (uint64_t i = 0; i < pages_.size(); ++i) {
+      buffer_manager_->Unpin(file_, i, /*dirty=*/false);
+    }
+  }
+  pages_.clear();
+  buffer_manager_ = nullptr;
+}
+
+Table::Table(std::string name, Schema schema)
+    : name_(std::move(name)),
+      schema_(std::move(schema)),
+      tuples_per_page_(Page::TuplesPerPage(schema_.TupleSize())) {
+  HQ_CHECK_MSG(schema_.TupleSize() > 0 && tuples_per_page_ > 0,
+               "tuple too large for a page");
+}
+
+Table::Table(std::string name, Schema schema, BufferManager* bm, FileId file)
+    : name_(std::move(name)),
+      schema_(std::move(schema)),
+      tuples_per_page_(Page::TuplesPerPage(schema_.TupleSize())),
+      buffer_manager_(bm),
+      file_(file) {}
+
+Result<std::unique_ptr<Table>> Table::CreateFileBacked(
+    std::string name, Schema schema, BufferManager* buffer_manager,
+    const std::string& path) {
+  HQ_CHECK(buffer_manager != nullptr);
+  HQ_ASSIGN_OR_RETURN(FileId file, buffer_manager->OpenFile(path, true));
+  return std::unique_ptr<Table>(
+      new Table(std::move(name), std::move(schema), buffer_manager, file));
+}
+
+Table::~Table() {
+  if (buffer_manager_ != nullptr) {
+    if (write_page_ != nullptr) {
+      buffer_manager_->Unpin(file_, write_page_no_, /*dirty=*/true);
+    }
+  } else {
+    for (Page* p : owned_pages_) std::free(p);
+  }
+}
+
+Result<Page*> Table::CurrentWritePage() {
+  if (buffer_manager_ == nullptr) {
+    if (owned_pages_.empty() ||
+        owned_pages_.back()->num_tuples >= tuples_per_page_) {
+      void* mem = nullptr;
+      int rc = posix_memalign(&mem, kPageSize, kPageSize);
+      if (rc != 0 || mem == nullptr) {
+        return Status::ExecError("out of memory allocating table page");
+      }
+      Page* p = static_cast<Page*>(mem);
+      p->Reset();
+      owned_pages_.push_back(p);
+      ++num_pages_;
+    }
+    return owned_pages_.back();
+  }
+  if (write_page_ == nullptr || write_page_->num_tuples >= tuples_per_page_) {
+    if (write_page_ != nullptr) {
+      buffer_manager_->Unpin(file_, write_page_no_, /*dirty=*/true);
+      write_page_ = nullptr;
+    }
+    HQ_ASSIGN_OR_RETURN(Page * p,
+                        buffer_manager_->NewPage(file_, &write_page_no_));
+    write_page_ = p;
+    ++num_pages_;
+  }
+  return write_page_;
+}
+
+Result<uint8_t*> Table::AppendTupleSlot() {
+  HQ_ASSIGN_OR_RETURN(Page * page, CurrentWritePage());
+  uint8_t* slot = page->TupleAt(page->num_tuples, schema_.TupleSize());
+  ++page->num_tuples;
+  ++num_tuples_;
+  stats_.valid = false;
+  return slot;
+}
+
+Status Table::AdoptPage(Page* page) {
+  if (buffer_manager_ != nullptr) {
+    return Status::InvalidArgument("AdoptPage requires an in-memory table");
+  }
+  if (page->num_tuples > tuples_per_page_) {
+    return Status::InvalidArgument("adopted page overflows tuple capacity");
+  }
+  owned_pages_.push_back(page);
+  ++num_pages_;
+  num_tuples_ += page->num_tuples;
+  stats_.valid = false;
+  return Status::OK();
+}
+
+Status Table::AppendRow(const std::vector<Value>& values) {
+  if (values.size() != schema_.NumColumns()) {
+    return Status::InvalidArgument("row arity mismatch for " + name_);
+  }
+  HQ_ASSIGN_OR_RETURN(uint8_t * slot, AppendTupleSlot());
+  std::memset(slot, 0, schema_.TupleSize());
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (values[i].type_id() != schema_.ColumnAt(i).type.id) {
+      return Status::InvalidArgument("type mismatch in column " +
+                                     schema_.ColumnAt(i).name);
+    }
+    schema_.SetValue(slot, i, values[i]);
+  }
+  return Status::OK();
+}
+
+Result<PinnedPages> Table::Pin() {
+  PinnedPages pinned;
+  if (buffer_manager_ == nullptr) {
+    pinned.pages_ = owned_pages_;
+    return pinned;
+  }
+  // Flush the tail write page state: it stays pinned by the table itself;
+  // pin counts are per-fetch so double pinning is fine.
+  pinned.buffer_manager_ = buffer_manager_;
+  pinned.file_ = file_;
+  pinned.pages_.reserve(num_pages_);
+  for (uint64_t i = 0; i < num_pages_; ++i) {
+    auto page = buffer_manager_->FetchPage(file_, i);
+    if (!page.ok()) {
+      // Unpin what we already pinned before propagating.
+      for (uint64_t j = 0; j < pinned.pages_.size(); ++j) {
+        buffer_manager_->Unpin(file_, j, false);
+      }
+      pinned.buffer_manager_ = nullptr;
+      return page.status();
+    }
+    pinned.pages_.push_back(page.value());
+  }
+  return pinned;
+}
+
+Status Table::ForEachTuple(const std::function<void(const uint8_t*)>& fn) {
+  HQ_ASSIGN_OR_RETURN(PinnedPages pinned, Pin());
+  const uint32_t tuple_size = schema_.TupleSize();
+  for (const Page* page : pinned.pages()) {
+    for (uint32_t t = 0; t < page->num_tuples; ++t) {
+      fn(page->TupleAt(t, tuple_size));
+    }
+  }
+  return Status::OK();
+}
+
+namespace {
+
+// Distinct-count tracking with a cap: beyond the cap the exact count stops
+// mattering (map aggregation / fine partitioning are already ruled out).
+constexpr size_t kDistinctCap = 1u << 22;
+
+struct DistinctCounter {
+  std::unordered_set<uint64_t> scalars;
+  std::set<std::string> strings;
+  bool overflowed = false;
+
+  void AddScalar(uint64_t bits) {
+    if (overflowed) return;
+    scalars.insert(bits);
+    if (scalars.size() > kDistinctCap) overflowed = true;
+  }
+  void AddString(const char* p, size_t n) {
+    if (overflowed) return;
+    strings.emplace(p, n);
+    if (strings.size() > kDistinctCap) overflowed = true;
+  }
+  uint64_t Count() const { return scalars.size() + strings.size(); }
+};
+
+}  // namespace
+
+Status Table::ComputeStats() {
+  stats_.rows = num_tuples_;
+  stats_.columns.assign(schema_.NumColumns(), ColumnStats{});
+  std::vector<DistinctCounter> counters(schema_.NumColumns());
+
+  HQ_RETURN_IF_ERROR(ForEachTuple([&](const uint8_t* tuple) {
+    for (size_t c = 0; c < schema_.NumColumns(); ++c) {
+      const Column& col = schema_.ColumnAt(c);
+      const uint8_t* p = tuple + schema_.OffsetAt(c);
+      ColumnStats& cs = stats_.columns[c];
+      switch (col.type.id) {
+        case TypeId::kInt32:
+        case TypeId::kDate:
+        case TypeId::kInt64:
+        case TypeId::kDouble: {
+          Value v = schema_.GetValue(tuple, c);
+          if (!cs.valid) {
+            cs.min = v;
+            cs.max = v;
+            cs.valid = true;
+          } else {
+            if (v.Compare(cs.min) < 0) cs.min = v;
+            if (v.Compare(cs.max) > 0) cs.max = v;
+          }
+          uint64_t bits = 0;
+          std::memcpy(&bits, p, col.type.ByteSize());
+          counters[c].AddScalar(bits);
+          break;
+        }
+        case TypeId::kChar: {
+          Value v = schema_.GetValue(tuple, c);
+          if (!cs.valid) {
+            cs.min = v;
+            cs.max = v;
+            cs.valid = true;
+          } else {
+            if (v.Compare(cs.min) < 0) cs.min = v;
+            if (v.Compare(cs.max) > 0) cs.max = v;
+          }
+          counters[c].AddString(reinterpret_cast<const char*>(p),
+                                col.type.length);
+          break;
+        }
+      }
+    }
+  }));
+
+  for (size_t c = 0; c < schema_.NumColumns(); ++c) {
+    ColumnStats& cs = stats_.columns[c];
+    if (counters[c].overflowed) {
+      cs.distinct = num_tuples_;
+      cs.distinct_exact = false;
+    } else {
+      cs.distinct = counters[c].Count();
+      cs.distinct_exact = true;
+    }
+  }
+  stats_.valid = true;
+  return Status::OK();
+}
+
+}  // namespace hique

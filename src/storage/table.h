@@ -1,0 +1,129 @@
+#ifndef HIQUE_STORAGE_TABLE_H_
+#define HIQUE_STORAGE_TABLE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "storage/buffer_manager.h"
+#include "storage/page.h"
+#include "storage/schema.h"
+#include "storage/value.h"
+#include "util/status.h"
+
+namespace hique {
+
+/// Per-column statistics gathered by Table::ComputeStats. The optimizer uses
+/// them for cardinality estimation and, critically, for choosing map
+/// aggregation / fine partitioning (paper §V-B depends on knowing attribute
+/// domains).
+struct ColumnStats {
+  Value min;
+  Value max;
+  uint64_t distinct = 0;
+  bool distinct_exact = false;
+  bool valid = false;
+};
+
+struct TableStats {
+  uint64_t rows = 0;
+  std::vector<ColumnStats> columns;
+  bool valid = false;
+};
+
+/// All pages of a table pinned in memory for the duration of a query
+/// (main-memory execution, paper §VI). Releases pins on destruction.
+class PinnedPages {
+ public:
+  PinnedPages() = default;
+  ~PinnedPages() { Release(); }
+  PinnedPages(PinnedPages&& other) noexcept { *this = std::move(other); }
+  PinnedPages& operator=(PinnedPages&& other) noexcept;
+  PinnedPages(const PinnedPages&) = delete;
+  PinnedPages& operator=(const PinnedPages&) = delete;
+
+  const std::vector<Page*>& pages() const { return pages_; }
+  void Release();
+
+ private:
+  friend class Table;
+  std::vector<Page*> pages_;
+  BufferManager* buffer_manager_ = nullptr;  // null for in-memory tables
+  FileId file_ = 0;
+};
+
+/// An NSM table: fixed-length tuples packed into 4096-byte pages. Tables are
+/// either memory-resident (the default; malloc'd pages) or file-backed
+/// through the BufferManager.
+class Table {
+ public:
+  /// Creates a memory-resident table.
+  Table(std::string name, Schema schema);
+
+  /// Creates a file-backed table whose pages live in `buffer_manager`.
+  static Result<std::unique_ptr<Table>> CreateFileBacked(
+      std::string name, Schema schema, BufferManager* buffer_manager,
+      const std::string& path);
+
+  ~Table();
+  Table(const Table&) = delete;
+  Table& operator=(const Table&) = delete;
+
+  const std::string& name() const { return name_; }
+  const Schema& schema() const { return schema_; }
+  uint32_t tuple_size() const { return schema_.TupleSize(); }
+  uint32_t tuples_per_page() const { return tuples_per_page_; }
+  uint64_t NumTuples() const { return num_tuples_; }
+  uint64_t NumPages() const { return num_pages_; }
+
+  /// Appends a row of boxed values (engine-boundary path: loaders, tests).
+  Status AppendRow(const std::vector<Value>& values);
+
+  /// Fast append path: returns a pointer to an uninitialized tuple slot the
+  /// caller fills in place (used by the data generators).
+  Result<uint8_t*> AppendTupleSlot();
+
+  /// Adopts a fully formed, malloc-aligned page (used by the executor to
+  /// turn generated-code result pages into a table without copying).
+  /// In-memory tables only.
+  Status AdoptPage(Page* page);
+
+  /// Pins every page and returns the pinned page-pointer array, the memory
+  /// image the code generator's TableRef points at.
+  Result<PinnedPages> Pin();
+
+  /// Invokes `fn(tuple_ptr)` for every tuple (test/oracle convenience).
+  Status ForEachTuple(const std::function<void(const uint8_t*)>& fn);
+
+  /// Scans the table and recomputes `stats()`.
+  Status ComputeStats();
+  const TableStats& stats() const { return stats_; }
+  TableStats& mutable_stats() { return stats_; }
+
+ private:
+  Table(std::string name, Schema schema, BufferManager* bm, FileId file);
+  Result<Page*> CurrentWritePage();
+
+  std::string name_;
+  Schema schema_;
+  uint32_t tuples_per_page_;
+  uint64_t num_tuples_ = 0;
+  uint64_t num_pages_ = 0;
+
+  // In-memory mode.
+  std::vector<Page*> owned_pages_;
+
+  // File-backed mode.
+  BufferManager* buffer_manager_ = nullptr;
+  FileId file_ = 0;
+  Page* write_page_ = nullptr;     // pinned tail page
+  uint64_t write_page_no_ = 0;
+
+  TableStats stats_;
+};
+
+}  // namespace hique
+
+#endif  // HIQUE_STORAGE_TABLE_H_

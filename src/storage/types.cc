@@ -1,0 +1,88 @@
+#include "storage/types.h"
+
+#include <cstdio>
+
+namespace hique {
+
+std::string Type::ToString() const {
+  switch (id) {
+    case TypeId::kInt32:
+      return "INT";
+    case TypeId::kInt64:
+      return "BIGINT";
+    case TypeId::kDouble:
+      return "DOUBLE";
+    case TypeId::kDate:
+      return "DATE";
+    case TypeId::kChar:
+      return "CHAR(" + std::to_string(length) + ")";
+  }
+  return "?";
+}
+
+const char* Type::CType() const {
+  switch (id) {
+    case TypeId::kInt32:
+    case TypeId::kDate:
+      return "int32_t";
+    case TypeId::kInt64:
+      return "int64_t";
+    case TypeId::kDouble:
+      return "double";
+    case TypeId::kChar:
+      return "char";
+  }
+  return "void";
+}
+
+namespace {
+// Civil-date <-> day-count conversion, Howard Hinnant's algorithm.
+int64_t DaysFromCivil(int64_t y, unsigned m, unsigned d) {
+  y -= m <= 2;
+  const int64_t era = (y >= 0 ? y : y - 399) / 400;
+  const unsigned yoe = static_cast<unsigned>(y - era * 400);
+  const unsigned doy = (153 * (m + (m > 2 ? -3 : 9)) + 2) / 5 + d - 1;
+  const unsigned doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+  return era * 146097 + static_cast<int64_t>(doe) - 719468;
+}
+
+void CivilFromDays(int64_t z, int64_t* y, unsigned* m, unsigned* d) {
+  z += 719468;
+  const int64_t era = (z >= 0 ? z : z - 146096) / 146097;
+  const unsigned doe = static_cast<unsigned>(z - era * 146097);
+  const unsigned yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;
+  const int64_t year = static_cast<int64_t>(yoe) + era * 400;
+  const unsigned doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+  const unsigned mp = (5 * doy + 2) / 153;
+  const unsigned day = doy - (153 * mp + 2) / 5 + 1;
+  const unsigned month = mp + (mp < 10 ? 3 : -9);
+  *y = year + (month <= 2);
+  *m = month;
+  *d = day;
+}
+}  // namespace
+
+int32_t DateToDays(int year, int month, int day) {
+  return static_cast<int32_t>(
+      DaysFromCivil(year, static_cast<unsigned>(month),
+                    static_cast<unsigned>(day)));
+}
+
+void DaysToDate(int32_t days, int* year, int* month, int* day) {
+  int64_t y;
+  unsigned m, d;
+  CivilFromDays(days, &y, &m, &d);
+  *year = static_cast<int>(y);
+  *month = static_cast<int>(m);
+  *day = static_cast<int>(d);
+}
+
+std::string FormatDate(int32_t days) {
+  int y, m, d;
+  DaysToDate(days, &y, &m, &d);
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%04d-%02d-%02d", y, m, d);
+  return buf;
+}
+
+}  // namespace hique

@@ -1,0 +1,93 @@
+#ifndef HIQUE_STORAGE_TYPES_H_
+#define HIQUE_STORAGE_TYPES_H_
+
+#include <cstdint>
+#include <string>
+
+namespace hique {
+
+/// Column types supported by the engine. The set follows the paper's
+/// prototype: fixed-length scalar types plus fixed-length CHAR(N) strings
+/// (NSM tuples are fixed length, so VARCHAR is modelled as padded CHAR).
+/// DATE is stored as int32 days since 1970-01-01, DECIMAL as DOUBLE — both
+/// choices the 2010-era prototype also makes implicitly.
+enum class TypeId : uint8_t {
+  kInt32 = 0,
+  kInt64 = 1,
+  kDouble = 2,
+  kDate = 3,   // int32 days since epoch
+  kChar = 4,   // fixed length, space padded, not NUL terminated
+};
+
+/// A concrete column type: a TypeId plus the byte length for CHAR(N).
+struct Type {
+  TypeId id = TypeId::kInt32;
+  uint16_t length = 0;  // only meaningful for kChar
+
+  static Type Int32() { return {TypeId::kInt32, 0}; }
+  static Type Int64() { return {TypeId::kInt64, 0}; }
+  static Type Double() { return {TypeId::kDouble, 0}; }
+  static Type Date() { return {TypeId::kDate, 0}; }
+  static Type Char(uint16_t n) { return {TypeId::kChar, n}; }
+
+  /// Storage footprint of a value of this type inside a tuple.
+  uint32_t ByteSize() const {
+    switch (id) {
+      case TypeId::kInt32:
+      case TypeId::kDate:
+        return 4;
+      case TypeId::kInt64:
+      case TypeId::kDouble:
+        return 8;
+      case TypeId::kChar:
+        return length;
+    }
+    return 0;
+  }
+
+  /// Natural alignment for direct pointer-cast access (paper §V-B relies on
+  /// casting field pointers to primitive types).
+  uint32_t Alignment() const {
+    switch (id) {
+      case TypeId::kInt32:
+      case TypeId::kDate:
+        return 4;
+      case TypeId::kInt64:
+      case TypeId::kDouble:
+        return 8;
+      case TypeId::kChar:
+        return 1;
+    }
+    return 1;
+  }
+
+  bool IsNumeric() const {
+    return id == TypeId::kInt32 || id == TypeId::kInt64 ||
+           id == TypeId::kDouble;
+  }
+  bool IsFixedScalar() const { return id != TypeId::kChar; }
+
+  bool operator==(const Type& other) const {
+    return id == other.id && (id != TypeId::kChar || length == other.length);
+  }
+
+  /// SQL-ish rendering, e.g. "INT", "CHAR(10)".
+  std::string ToString() const;
+
+  /// C type the code generator casts field pointers to, e.g. "int32_t".
+  /// CHAR columns are accessed as `const char*`.
+  const char* CType() const;
+};
+
+/// Days since 1970-01-01 for a calendar date (proleptic Gregorian).
+int32_t DateToDays(int year, int month, int day);
+
+/// Inverse of DateToDays.
+void DaysToDate(int32_t days, int* year, int* month, int* day);
+
+/// Formats days-since-epoch as "YYYY-MM-DD".
+std::string FormatDate(int32_t days);
+
+}  // namespace hique
+
+#endif  // HIQUE_STORAGE_TYPES_H_

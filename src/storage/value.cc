@@ -1,0 +1,50 @@
+#include "storage/value.h"
+
+#include <cstdio>
+
+namespace hique {
+
+int Value::Compare(const Value& other) const {
+  HQ_DCHECK(type_.id == other.type_.id);
+  switch (type_.id) {
+    case TypeId::kInt32:
+    case TypeId::kDate:
+    case TypeId::kInt64: {
+      if (i_ < other.i_) return -1;
+      if (i_ > other.i_) return 1;
+      return 0;
+    }
+    case TypeId::kDouble: {
+      if (d_ < other.d_) return -1;
+      if (d_ > other.d_) return 1;
+      return 0;
+    }
+    case TypeId::kChar: {
+      int c = s_.compare(other.s_);
+      return c < 0 ? -1 : (c > 0 ? 1 : 0);
+    }
+  }
+  return 0;
+}
+
+std::string Value::ToString() const {
+  switch (type_.id) {
+    case TypeId::kInt32:
+    case TypeId::kInt64:
+      return std::to_string(i_);
+    case TypeId::kDouble: {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%.2f", d_);
+      return buf;
+    }
+    case TypeId::kDate:
+      return FormatDate(static_cast<int32_t>(i_));
+    case TypeId::kChar: {
+      size_t end = s_.find_last_not_of(' ');
+      return end == std::string::npos ? "" : s_.substr(0, end + 1);
+    }
+  }
+  return "?";
+}
+
+}  // namespace hique

@@ -1,0 +1,68 @@
+#ifndef HIQUE_STORAGE_VALUE_H_
+#define HIQUE_STORAGE_VALUE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "storage/types.h"
+#include "util/macros.h"
+
+namespace hique {
+
+/// A boxed scalar. Values appear only at the engine boundary (loading rows,
+/// returning results, binding literals, the reference executor); the holistic
+/// engine's inner loops never touch them — that is the point of the paper.
+class Value {
+ public:
+  Value() : type_(Type::Int32()), i_(0) {}
+
+  static Value Int32(int32_t v) { return Value(Type::Int32(), v); }
+  static Value Int64(int64_t v) { return Value(Type::Int64(), v); }
+  static Value Double(double v) {
+    Value val(Type::Double(), 0);
+    val.d_ = v;
+    return val;
+  }
+  static Value Date(int32_t days) { return Value(Type::Date(), days); }
+  static Value Char(std::string s, uint16_t width) {
+    Value val(Type::Char(width), 0);
+    s.resize(width, ' ');  // space padded, as stored in pages
+    val.s_ = std::move(s);
+    return val;
+  }
+
+  const Type& type() const { return type_; }
+  TypeId type_id() const { return type_.id; }
+
+  int32_t AsInt32() const {
+    HQ_DCHECK(type_.id == TypeId::kInt32 || type_.id == TypeId::kDate);
+    return static_cast<int32_t>(i_);
+  }
+  int64_t AsInt64() const { return i_; }
+  double AsDouble() const {
+    return type_.id == TypeId::kDouble ? d_ : static_cast<double>(i_);
+  }
+  const std::string& AsString() const { return s_; }
+
+  /// Three-way comparison with SQL semantics; both values must have the same
+  /// TypeId (numeric cross-type comparison is resolved by the binder).
+  int Compare(const Value& other) const;
+
+  bool operator==(const Value& other) const { return Compare(other) == 0; }
+  bool operator<(const Value& other) const { return Compare(other) < 0; }
+
+  /// Display rendering (CHAR values are shown right-trimmed).
+  std::string ToString() const;
+
+ private:
+  Value(Type t, int64_t i) : type_(t), i_(i) {}
+
+  Type type_;
+  int64_t i_ = 0;
+  double d_ = 0;
+  std::string s_;
+};
+
+}  // namespace hique
+
+#endif  // HIQUE_STORAGE_VALUE_H_

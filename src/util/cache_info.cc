@@ -1,0 +1,70 @@
+#include "util/cache_info.h"
+
+#include <fstream>
+#include <string>
+
+namespace hique {
+namespace {
+
+// Parses values like "32K", "2048K", "8M" from sysfs cache size files.
+size_t ParseSizeFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.good()) return 0;
+  std::string text;
+  in >> text;
+  if (text.empty()) return 0;
+  size_t multiplier = 1;
+  char suffix = text.back();
+  if (suffix == 'K' || suffix == 'k') {
+    multiplier = 1024;
+    text.pop_back();
+  } else if (suffix == 'M' || suffix == 'm') {
+    multiplier = 1024 * 1024;
+    text.pop_back();
+  }
+  try {
+    return static_cast<size_t>(std::stoull(text)) * multiplier;
+  } catch (...) {
+    return 0;
+  }
+}
+
+CacheInfo Probe() {
+  CacheInfo info;
+  const std::string base = "/sys/devices/system/cpu/cpu0/cache/index";
+  for (int index = 0; index < 8; ++index) {
+    std::string dir = base + std::to_string(index) + "/";
+    std::ifstream level_in(dir + "level");
+    std::ifstream type_in(dir + "type");
+    if (!level_in.good() || !type_in.good()) break;
+    int level = 0;
+    std::string type;
+    level_in >> level;
+    type_in >> type;
+    size_t size = ParseSizeFile(dir + "size");
+    if (size == 0) continue;
+    if (level == 1 && (type == "Data" || type == "Unified")) {
+      info.l1d_bytes = size;
+    } else if (level == 2) {
+      info.l2_bytes = size;
+    } else if (level == 3) {
+      info.l3_bytes = size;
+    }
+  }
+  std::ifstream line_in(base + "0/coherency_line_size");
+  if (line_in.good()) {
+    size_t line = 0;
+    line_in >> line;
+    if (line >= 16 && line <= 1024) info.line_bytes = line;
+  }
+  return info;
+}
+
+}  // namespace
+
+const CacheInfo& HostCacheInfo() {
+  static const CacheInfo info = Probe();
+  return info;
+}
+
+}  // namespace hique

@@ -1,0 +1,24 @@
+#ifndef HIQUE_UTIL_CACHE_INFO_H_
+#define HIQUE_UTIL_CACHE_INFO_H_
+
+#include <cstddef>
+
+namespace hique {
+
+/// Cache geometry of the host, probed once from sysfs. The paper's code
+/// generator is hardware-conscious: staging partition counts and the map-
+/// aggregation directory threshold are derived from these sizes (paper §V-B).
+struct CacheInfo {
+  size_t l1d_bytes = 32 * 1024;        // D1-cache
+  size_t l2_bytes = 2 * 1024 * 1024;   // L2 (paper's Core 2 Duo: 2MB)
+  size_t l3_bytes = 0;                 // 0 when absent
+  size_t line_bytes = 64;
+};
+
+/// Returns the host cache geometry; falls back to the paper's Core 2 Duo
+/// values when sysfs is unavailable (e.g., restricted containers).
+const CacheInfo& HostCacheInfo();
+
+}  // namespace hique
+
+#endif  // HIQUE_UTIL_CACHE_INFO_H_

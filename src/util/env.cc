@@ -1,0 +1,100 @@
+#include "util/env.h"
+
+#include <unistd.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace hique {
+namespace env {
+
+namespace fs = std::filesystem;
+
+Status MakeDirs(const std::string& path) {
+  std::error_code ec;
+  fs::create_directories(path, ec);
+  if (ec && !fs::exists(path)) {
+    return Status::IoError("mkdir " + path + ": " + ec.message());
+  }
+  return Status::OK();
+}
+
+Status RemoveFile(const std::string& path) {
+  std::error_code ec;
+  fs::remove(path, ec);
+  if (ec) return Status::IoError("rm " + path + ": " + ec.message());
+  return Status::OK();
+}
+
+Status RemoveTree(const std::string& path) {
+  std::error_code ec;
+  fs::remove_all(path, ec);
+  if (ec) return Status::IoError("rm -r " + path + ": " + ec.message());
+  return Status::OK();
+}
+
+Status WriteFile(const std::string& path, const std::string& contents) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out.good()) return Status::IoError("cannot open " + path);
+  out.write(contents.data(), static_cast<std::streamsize>(contents.size()));
+  out.close();
+  if (!out.good()) return Status::IoError("write failed: " + path);
+  return Status::OK();
+}
+
+Result<std::string> ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) return Status::IoError("cannot open " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+Result<int64_t> FileSize(const std::string& path) {
+  std::error_code ec;
+  auto size = fs::file_size(path, ec);
+  if (ec) return Status::IoError("stat " + path + ": " + ec.message());
+  return static_cast<int64_t>(size);
+}
+
+bool FileExists(const std::string& path) {
+  std::error_code ec;
+  return fs::exists(path, ec);
+}
+
+namespace {
+
+struct TempDirHolder {
+  std::string path;
+  TempDirHolder() {
+    path = "/tmp/hique_" + std::to_string(::getpid());
+    std::error_code ec;
+    fs::create_directories(path, ec);
+  }
+  ~TempDirHolder() {
+    std::error_code ec;
+    fs::remove_all(path, ec);
+  }
+};
+
+}  // namespace
+
+const std::string& ProcessTempDir() {
+  static TempDirHolder* holder = new TempDirHolder();  // leaked on purpose;
+  // the destructor would race with static teardown, so cleanup is handled by
+  // an atexit hook instead.
+  static bool registered = [] {
+    std::atexit([] {
+      std::error_code ec;
+      fs::remove_all("/tmp/hique_" + std::to_string(::getpid()), ec);
+    });
+    return true;
+  }();
+  (void)registered;
+  return holder->path;
+}
+
+}  // namespace env
+}  // namespace hique

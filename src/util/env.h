@@ -1,0 +1,42 @@
+#ifndef HIQUE_UTIL_ENV_H_
+#define HIQUE_UTIL_ENV_H_
+
+#include <cstdint>
+#include <string>
+
+#include "util/status.h"
+
+namespace hique {
+
+/// Minimal filesystem helpers used by the runtime compiler driver and the
+/// file-backed storage layer.
+namespace env {
+
+/// Creates a directory (and parents). OK if it already exists.
+Status MakeDirs(const std::string& path);
+
+/// Removes a file if it exists; missing files are not an error.
+Status RemoveFile(const std::string& path);
+
+/// Recursively removes a directory tree if it exists.
+Status RemoveTree(const std::string& path);
+
+/// Writes `contents` to `path`, replacing any existing file.
+Status WriteFile(const std::string& path, const std::string& contents);
+
+/// Reads the whole file into a string.
+Result<std::string> ReadFile(const std::string& path);
+
+/// Size of a file in bytes, or an error if it does not exist.
+Result<int64_t> FileSize(const std::string& path);
+
+bool FileExists(const std::string& path);
+
+/// A process-unique temporary directory under /tmp, created on first use and
+/// removed at process exit.
+const std::string& ProcessTempDir();
+
+}  // namespace env
+}  // namespace hique
+
+#endif  // HIQUE_UTIL_ENV_H_

@@ -1,0 +1,34 @@
+#ifndef HIQUE_UTIL_HASH_H_
+#define HIQUE_UTIL_HASH_H_
+
+#include <cstdint>
+#include <cstring>
+
+namespace hique {
+
+/// 64-bit finalizer (murmur3 fmix64). This is also the hash the code
+/// generator inlines into generated partitioning code, so engine-side
+/// partition counts and generated-code bucket assignment always agree.
+inline uint64_t HashMix64(uint64_t k) {
+  k ^= k >> 33;
+  k *= 0xFF51AFD7ED558CCDull;
+  k ^= k >> 33;
+  k *= 0xC4CEB9FE1A85EC53ull;
+  k ^= k >> 33;
+  return k;
+}
+
+/// Hash of an arbitrary byte string (FNV-1a folded through HashMix64).
+inline uint64_t HashBytes(const void* data, size_t len) {
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  uint64_t h = 0xCBF29CE484222325ull;
+  for (size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= 0x100000001B3ull;
+  }
+  return HashMix64(h);
+}
+
+}  // namespace hique
+
+#endif  // HIQUE_UTIL_HASH_H_

@@ -1,0 +1,54 @@
+#ifndef HIQUE_UTIL_MACROS_H_
+#define HIQUE_UTIL_MACROS_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+/// Aborts with a message when `cond` is false. Used for internal invariants
+/// that indicate programmer error (never for user-input validation, which
+/// goes through Status).
+#define HQ_CHECK(cond)                                                       \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      std::fprintf(stderr, "HQ_CHECK failed at %s:%d: %s\n", __FILE__,       \
+                   __LINE__, #cond);                                         \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (0)
+
+#define HQ_CHECK_MSG(cond, msg)                                              \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      std::fprintf(stderr, "HQ_CHECK failed at %s:%d: %s (%s)\n", __FILE__,  \
+                   __LINE__, #cond, msg);                                    \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (0)
+
+#ifndef NDEBUG
+#define HQ_DCHECK(cond) HQ_CHECK(cond)
+#else
+#define HQ_DCHECK(cond) \
+  do {                  \
+  } while (0)
+#endif
+
+/// Propagates a non-OK Status from the evaluated expression.
+#define HQ_RETURN_IF_ERROR(expr)              \
+  do {                                        \
+    ::hique::Status _hq_status = (expr);      \
+    if (!_hq_status.ok()) return _hq_status;  \
+  } while (0)
+
+/// Evaluates an expression returning Result<T>; on error propagates the
+/// Status, otherwise assigns the value to `lhs`.
+#define HQ_ASSIGN_OR_RETURN(lhs, expr)                   \
+  auto HQ_CONCAT_(_hq_res_, __LINE__) = (expr);          \
+  if (!HQ_CONCAT_(_hq_res_, __LINE__).ok())              \
+    return HQ_CONCAT_(_hq_res_, __LINE__).status();      \
+  lhs = std::move(HQ_CONCAT_(_hq_res_, __LINE__)).value()
+
+#define HQ_CONCAT_INNER_(a, b) a##b
+#define HQ_CONCAT_(a, b) HQ_CONCAT_INNER_(a, b)
+
+#endif  // HIQUE_UTIL_MACROS_H_

@@ -1,0 +1,67 @@
+#ifndef HIQUE_UTIL_RNG_H_
+#define HIQUE_UTIL_RNG_H_
+
+#include <cstdint>
+
+namespace hique {
+
+/// Deterministic 64-bit PRNG (splitmix64 seeded xorshift128+). Used by every
+/// data generator so test and benchmark inputs are reproducible across runs
+/// and platforms.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ull) {
+    // splitmix64 to spread the seed into two non-zero lanes.
+    s0_ = SplitMix(&seed);
+    s1_ = SplitMix(&seed);
+    if (s0_ == 0 && s1_ == 0) s1_ = 1;
+  }
+
+  /// Uniform 64-bit value.
+  uint64_t Next() {
+    uint64_t x = s0_;
+    const uint64_t y = s1_;
+    s0_ = y;
+    x ^= x << 23;
+    s1_ = x ^ y ^ (x >> 17) ^ (y >> 26);
+    return s1_ + y;
+  }
+
+  /// Uniform in [0, bound). bound must be > 0.
+  uint64_t NextBounded(uint64_t bound) { return Next() % bound; }
+
+  /// Uniform in [lo, hi] inclusive.
+  int64_t NextRange(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(NextBounded(
+                    static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Fisher-Yates shuffle of `n` elements accessed through `swap(i, j)`.
+  template <typename SwapFn>
+  void Shuffle(uint64_t n, SwapFn swap) {
+    for (uint64_t i = n; i > 1; --i) {
+      uint64_t j = NextBounded(i);
+      if (j != i - 1) swap(i - 1, j);
+    }
+  }
+
+ private:
+  static uint64_t SplitMix(uint64_t* state) {
+    uint64_t z = (*state += 0x9E3779B97F4A7C15ull);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+  }
+
+  uint64_t s0_;
+  uint64_t s1_;
+};
+
+}  // namespace hique
+
+#endif  // HIQUE_UTIL_RNG_H_

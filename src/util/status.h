@@ -1,0 +1,120 @@
+#ifndef HIQUE_UTIL_STATUS_H_
+#define HIQUE_UTIL_STATUS_H_
+
+#include <string>
+#include <utility>
+
+#include "util/macros.h"
+
+namespace hique {
+
+/// Error categories used across the engine. Mirrors the RocksDB/Arrow idiom:
+/// recoverable errors travel as Status values, never as exceptions.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kParseError,
+  kBindError,
+  kPlanError,
+  kCodegenError,
+  kCompileError,
+  kExecError,
+  kIoError,
+  kNotImplemented,
+  kInternal,
+};
+
+/// A lightweight success-or-error value. All fallible public APIs in this
+/// library return Status (or Result<T> for value-producing calls).
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string m) {
+    return Status(StatusCode::kInvalidArgument, std::move(m));
+  }
+  static Status NotFound(std::string m) {
+    return Status(StatusCode::kNotFound, std::move(m));
+  }
+  static Status AlreadyExists(std::string m) {
+    return Status(StatusCode::kAlreadyExists, std::move(m));
+  }
+  static Status ParseError(std::string m) {
+    return Status(StatusCode::kParseError, std::move(m));
+  }
+  static Status BindError(std::string m) {
+    return Status(StatusCode::kBindError, std::move(m));
+  }
+  static Status PlanError(std::string m) {
+    return Status(StatusCode::kPlanError, std::move(m));
+  }
+  static Status CodegenError(std::string m) {
+    return Status(StatusCode::kCodegenError, std::move(m));
+  }
+  static Status CompileError(std::string m) {
+    return Status(StatusCode::kCompileError, std::move(m));
+  }
+  static Status ExecError(std::string m) {
+    return Status(StatusCode::kExecError, std::move(m));
+  }
+  static Status IoError(std::string m) {
+    return Status(StatusCode::kIoError, std::move(m));
+  }
+  static Status NotImplemented(std::string m) {
+    return Status(StatusCode::kNotImplemented, std::move(m));
+  }
+  static Status Internal(std::string m) {
+    return Status(StatusCode::kInternal, std::move(m));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Human-readable "CODE: message" rendering.
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Value-or-Status, in the spirit of arrow::Result. Kept deliberately small:
+/// exactly the operations the engine needs.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : status_(Status::OK()), value_(std::move(value)) {}  // NOLINT
+  Result(Status status) : status_(std::move(status)) {                 // NOLINT
+    HQ_CHECK_MSG(!status_.ok(), "Result(Status) requires an error status");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    HQ_CHECK_MSG(ok(), status_.message().c_str());
+    return value_;
+  }
+  T& value() & {
+    HQ_CHECK_MSG(ok(), status_.message().c_str());
+    return value_;
+  }
+  T&& value() && {
+    HQ_CHECK_MSG(ok(), status_.message().c_str());
+    return std::move(value_);
+  }
+
+ private:
+  Status status_;
+  T value_{};
+};
+
+}  // namespace hique
+
+#endif  // HIQUE_UTIL_STATUS_H_

@@ -1,0 +1,35 @@
+#ifndef HIQUE_UTIL_TIMER_H_
+#define HIQUE_UTIL_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace hique {
+
+/// Monotonic wall-clock stopwatch used by the benchmark harnesses and the
+/// query-preparation cost accounting (Table III).
+class WallTimer {
+ public:
+  WallTimer() { Restart(); }
+
+  void Restart() { start_ = Clock::now(); }
+
+  /// Elapsed time since construction or the last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+  int64_t ElapsedMicros() const {
+    return std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                                 start_)
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace hique
+
+#endif  // HIQUE_UTIL_TIMER_H_

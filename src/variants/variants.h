@@ -1,0 +1,82 @@
+#ifndef HIQUE_VARIANTS_VARIANTS_H_
+#define HIQUE_VARIANTS_VARIANTS_H_
+
+#include <string>
+#include <vector>
+
+#include "exec/executor.h"
+#include "storage/table.h"
+#include "util/status.h"
+
+namespace hique::variants {
+
+/// The five code styles compared in the paper's §VI-A (Fig. 5/6, Table II):
+///  (a) generic iterators     — virtual next() per tuple, untyped field
+///                              access + predicate evaluation via function
+///                              pointers
+///  (b) optimized iterators   — virtual next() per tuple, type-specific
+///                              inlined field access and predicates
+///  (c) generic hard-coded    — plain loops, but field access and predicate
+///                              evaluation through (non-inlined) functions
+///  (d) optimized hard-coded  — plain loops, direct pointer-arithmetic field
+///                              access, predicates still via functions
+///  (e) HIQUE                 — the holistic template: loops, direct access,
+///                              everything inlined (identical in structure
+///                              to what src/codegen emits for this query)
+enum class Style {
+  kGenericIterators,
+  kOptimizedIterators,
+  kGenericHardcoded,
+  kOptimizedHardcoded,
+  kHique,
+};
+
+const char* StyleName(Style s);
+
+/// The four §VI-A microbenchmark queries. Inputs are the 72-byte-tuple
+/// tables produced by bench_support::MakeMicroTable: key INT32 @0, v INT32
+/// @4, a DOUBLE @8, b DOUBLE @16, pad CHAR(48) @24.
+enum class MicroQuery {
+  kJoinMerge,   // Join Query #1: sort both inputs, merge join
+  kJoinHybrid,  // Join Query #2: partition both, JIT-sort, merge
+  kAggHybrid,   // Aggregation Query #1: partition, sort, single scan
+  kAggMap,      // Aggregation Query #2: dense map aggregation, single scan
+};
+
+const char* MicroQueryName(MicroQuery q);
+
+struct MicroParams {
+  uint32_t partitions = 64;   // hybrid staging fan-out (power of two)
+  int64_t map_domain = 10;    // dense key domain for map aggregation
+};
+
+/// Emits the full C++ source for one (query, style) pair. Every style
+/// implements the same algorithm with the same staging primitives (shared
+/// type-specific quicksort, as in the paper); only the call structure
+/// differs. All variants compute the same checksum row
+/// (count BIGINT, checksum DOUBLE) so results are cross-checkable.
+std::string EmitVariantSource(MicroQuery query, Style style,
+                              const MicroParams& params);
+
+/// Output schema of every variant: one row {cnt BIGINT, checksum DOUBLE}.
+Schema VariantOutputSchema();
+
+struct VariantRun {
+  double compile_seconds = 0;
+  double execute_seconds = 0;
+  int64_t count = 0;
+  double checksum = 0;
+  int64_t source_bytes = 0;
+  int64_t library_bytes = 0;
+};
+
+/// Compiles (at `opt_level`) and runs one variant over the given inputs
+/// (joins: {outer, inner}; aggregations: {input}).
+Result<VariantRun> RunVariant(MicroQuery query, Style style,
+                              const MicroParams& params,
+                              const std::vector<Table*>& tables,
+                              int opt_level, const std::string& work_dir);
+
+}  // namespace hique::variants
+
+#endif  // HIQUE_VARIANTS_VARIANTS_H_

@@ -1,0 +1,151 @@
+// Runtime compilation / execution layer tests: compiler driver, dlopen
+// executor, arena, compiled-query cache, and the map-overflow re-planning
+// path (stale statistics).
+
+#include <gtest/gtest.h>
+
+#include "exec/arena.h"
+#include "exec/compiler.h"
+#include "exec/engine.h"
+#include "tests/test_util.h"
+#include "util/env.h"
+
+namespace hique {
+namespace {
+
+TEST(ArenaTest, AlignmentAndGrowth) {
+  Arena arena;
+  void* a = arena.Allocate(1);
+  void* b = arena.Allocate(100);
+  void* c = arena.Allocate(10 << 20);  // exceeds one block
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(a) % 64, 0u);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(b) % 64, 0u);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(c) % 64, 0u);
+  EXPECT_GE(arena.total_allocated(), (10u << 20));
+}
+
+TEST(CompilerTest, CompilesValidSource) {
+  std::string dir = env::ProcessTempDir() + "/compiler_test";
+  exec::CompileOptions opts;
+  auto result = exec::CompileToSharedLibrary(
+      "extern \"C\" int forty_two() { return 42; }", dir, "ok", opts);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_GT(result.value().library_bytes, 0);
+  EXPECT_TRUE(env::FileExists(result.value().library_path));
+}
+
+TEST(CompilerTest, ReportsCompileErrors) {
+  std::string dir = env::ProcessTempDir() + "/compiler_test";
+  exec::CompileOptions opts;
+  auto result = exec::CompileToSharedLibrary("this is not C++", dir, "bad",
+                                             opts);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kCompileError);
+}
+
+TEST(CompilerTest, OptLevelChangesArtifact) {
+  std::string dir = env::ProcessTempDir() + "/compiler_test";
+  std::string src = R"(
+extern "C" double work(double x) {
+  double acc = 0;
+  for (int i = 0; i < 1000; ++i) acc += x * i;
+  return acc;
+}
+)";
+  exec::CompileOptions o0;
+  o0.opt_level = 0;
+  exec::CompileOptions o2;
+  o2.opt_level = 2;
+  auto r0 = exec::CompileToSharedLibrary(src, dir, "o0", o0);
+  auto r2 = exec::CompileToSharedLibrary(src, dir, "o2", o2);
+  ASSERT_TRUE(r0.ok());
+  ASSERT_TRUE(r2.ok());
+  EXPECT_GT(r0.value().library_bytes, 0);
+  EXPECT_GT(r2.value().library_bytes, 0);
+}
+
+TEST(EngineTest, CompiledCacheReuse) {
+  Catalog catalog;
+  testing::MakeIntTable(&catalog, "t", 500, 10, 3);
+  HiqueEngine engine(&catalog);
+  std::string sql = "select t_k, count(*) from t group by t_k";
+  auto first = engine.Query(sql);
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(engine.CompiledCacheSize(), 1u);
+  auto second = engine.Query(sql);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(engine.CompiledCacheSize(), 1u);
+  // A cache hit pays no compilation.
+  EXPECT_EQ(second.value().timings.compile_ms,
+            first.value().timings.compile_ms);
+  EXPECT_EQ(first.value().NumRows(), second.value().NumRows());
+}
+
+TEST(EngineTest, MapOverflowReplansWithHybrid) {
+  Catalog catalog;
+  Table* t = testing::MakeIntTable(&catalog, "t", 200, 4, 5);
+  // Make the statistics stale: claim 4 distinct keys, then insert many new
+  // ones. Map aggregation's directories will overflow at run time and the
+  // engine must transparently re-plan with hybrid aggregation.
+  for (int i = 0; i < 500; ++i) {
+    ASSERT_TRUE(t->AppendRow({Value::Int32(1000 + i), Value::Int32(i),
+                              Value::Double(i), Value::Char("x", 8)})
+                    .ok());
+  }
+  t->mutable_stats().valid = true;  // keep the stale statistics
+
+  std::string sql = "select t_k, count(*), sum(t_v) from t group by t_k";
+  auto expected = ref::ExecuteSql(sql, catalog);
+  ASSERT_TRUE(expected.ok());
+
+  HiqueEngine engine(&catalog);
+  auto r = engine.Query(sql);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  std::vector<ref::Row> actual;
+  for (auto& row : r.value().Rows()) actual.push_back(row);
+  Status cmp = ref::CompareRowSets(expected.value(), actual, false);
+  EXPECT_TRUE(cmp.ok()) << cmp.ToString();
+  // The replanned query must not use map aggregation.
+  EXPECT_EQ(r.value().plan_text.find("agg map"), std::string::npos)
+      << r.value().plan_text;
+}
+
+TEST(EngineTest, KeepSourceExposesGeneratedCode) {
+  Catalog catalog;
+  testing::MakeIntTable(&catalog, "t", 100, 5, 6);
+  EngineOptions opts;
+  opts.keep_source = true;
+  HiqueEngine engine(&catalog, opts);
+  auto r = engine.Query("select t_k from t where t_v < 100");
+  ASSERT_TRUE(r.ok());
+  EXPECT_NE(r.value().generated_source.find("hique_query_main"),
+            std::string::npos);
+  EXPECT_NE(r.value().generated_source.find("loop over pages"),
+            std::string::npos);
+}
+
+TEST(EngineTest, SoftwareCountersPopulated) {
+  Catalog catalog;
+  testing::MakeIntTable(&catalog, "t", 2000, 10, 7);
+  HiqueEngine engine(&catalog);
+  auto r = engine.Query("select count(*) from t");
+  ASSERT_TRUE(r.ok());
+  // Generated code touches every page exactly once for this query.
+  Table* t = catalog.GetTable("t").value();
+  EXPECT_EQ(r.value().exec_stats.pages_touched, t->NumPages());
+  EXPECT_EQ(r.value().exec_stats.rows, 1);
+}
+
+TEST(EngineTest, PlannerErrorsSurface) {
+  Catalog catalog;
+  testing::MakeIntTable(&catalog, "t", 100, 5, 8);
+  HiqueEngine engine(&catalog);
+  EXPECT_FALSE(engine.Query("select nothere from t").ok());
+  EXPECT_FALSE(engine.Query("not even sql").ok());
+}
+
+}  // namespace
+}  // namespace hique

@@ -1,0 +1,192 @@
+#include <gtest/gtest.h>
+
+#include "sql/binder.h"
+#include "sql/lexer.h"
+#include "sql/parser.h"
+#include "storage/catalog.h"
+
+namespace hique::sql {
+namespace {
+
+TEST(LexerTest, TokenKinds) {
+  auto tokens = Tokenize("select a1, 42, 3.5, 'text' from t where a <= 7;");
+  ASSERT_TRUE(tokens.ok());
+  const auto& v = tokens.value();
+  EXPECT_EQ(v[0].type, TokenType::kKeyword);
+  EXPECT_EQ(v[0].text, "SELECT");
+  EXPECT_EQ(v[1].type, TokenType::kIdent);
+  EXPECT_EQ(v[1].text, "a1");
+  EXPECT_EQ(v[3].type, TokenType::kIntLiteral);
+  EXPECT_EQ(v[3].int_value, 42);
+  EXPECT_EQ(v[5].type, TokenType::kFloatLiteral);
+  EXPECT_DOUBLE_EQ(v[5].float_value, 3.5);
+  EXPECT_EQ(v[7].type, TokenType::kStringLiteral);
+  EXPECT_EQ(v[7].text, "text");
+}
+
+TEST(LexerTest, TwoCharOperatorsAndEscapes) {
+  auto tokens = Tokenize("a <> b != c <= d >= e 'it''s'");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ(tokens.value()[1].text, "<>");
+  EXPECT_EQ(tokens.value()[3].text, "<>");  // != normalizes
+  EXPECT_EQ(tokens.value()[5].text, "<=");
+  EXPECT_EQ(tokens.value()[7].text, ">=");
+  EXPECT_EQ(tokens.value()[9].text, "it's");
+}
+
+TEST(LexerTest, CaseInsensitiveKeywordsLowercaseIdents) {
+  auto tokens = Tokenize("SeLeCt FooBar");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ(tokens.value()[0].text, "SELECT");
+  EXPECT_EQ(tokens.value()[1].text, "foobar");
+}
+
+TEST(LexerTest, RejectsUnterminatedString) {
+  EXPECT_FALSE(Tokenize("select 'oops").ok());
+}
+
+TEST(ParserTest, FullSelectShape) {
+  auto stmt = Parse(
+      "select a, sum(b * (1 - c)) as total from t1, t2 "
+      "where a = d and b > 5 group by a order by total desc, a limit 10");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  const SelectStmt& s = *stmt.value();
+  EXPECT_EQ(s.items.size(), 2u);
+  EXPECT_EQ(s.items[1].alias, "total");
+  EXPECT_EQ(s.from.size(), 2u);
+  ASSERT_TRUE(s.where != nullptr);
+  EXPECT_EQ(s.group_by.size(), 1u);
+  ASSERT_EQ(s.order_by.size(), 2u);
+  EXPECT_TRUE(s.order_by[0].desc);
+  EXPECT_FALSE(s.order_by[1].desc);
+  EXPECT_EQ(s.limit, 10);
+}
+
+TEST(ParserTest, DateLiteral) {
+  auto stmt = Parse("select a from t where d <= date '1998-09-02'");
+  ASSERT_TRUE(stmt.ok());
+  const Expr& cmp = *stmt.value()->where;
+  EXPECT_EQ(cmp.right->kind, ExprKind::kDateLit);
+  EXPECT_EQ(cmp.right->date_value, DateToDays(1998, 9, 2));
+}
+
+TEST(ParserTest, CountStarAndTableAliases) {
+  auto stmt = Parse("select count(*) from orders o, lineitem l "
+                    "where o.o_orderkey = l.l_orderkey");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_EQ(stmt.value()->from[0].alias, "o");
+  EXPECT_EQ(stmt.value()->items[0].expr->kind, ExprKind::kAggregate);
+  EXPECT_EQ(stmt.value()->items[0].expr->arg, nullptr);
+}
+
+TEST(ParserTest, ArithmeticPrecedence) {
+  auto stmt = Parse("select a + b * c from t");
+  ASSERT_TRUE(stmt.ok());
+  const Expr& e = *stmt.value()->items[0].expr;
+  EXPECT_EQ(e.op, BinaryOp::kAdd);        // + at the top
+  EXPECT_EQ(e.right->op, BinaryOp::kMul); // * binds tighter
+}
+
+TEST(ParserTest, Errors) {
+  EXPECT_FALSE(Parse("select from t").ok());
+  EXPECT_FALSE(Parse("select a").ok());                 // missing FROM
+  EXPECT_FALSE(Parse("select a from t where").ok());    // dangling WHERE
+  EXPECT_FALSE(Parse("select a from t limit x").ok());  // non-int limit
+  EXPECT_FALSE(Parse("select a from t extra junk at end ;;").ok());
+}
+
+class BinderTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Schema r;
+    r.AddColumn("r_id", Type::Int32());
+    r.AddColumn("r_val", Type::Double());
+    r.AddColumn("r_name", Type::Char(8));
+    r.AddColumn("r_day", Type::Date());
+    ASSERT_TRUE(catalog_.CreateTable("r", r).ok());
+    Schema s;
+    s.AddColumn("s_id", Type::Int32());
+    s.AddColumn("s_val", Type::Double());
+    ASSERT_TRUE(catalog_.CreateTable("s", s).ok());
+  }
+  Catalog catalog_;
+};
+
+TEST_F(BinderTest, ResolvesColumnsAndClassifiesPredicates) {
+  auto q = ParseAndBind(
+      "select r_id, s_val from r, s "
+      "where r_id = s_id and r_val > 1.5 and r_name = 'abc'",
+      catalog_);
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q.value()->joins.size(), 1u);
+  EXPECT_EQ(q.value()->filters.size(), 2u);
+  EXPECT_EQ(q.value()->joins[0].left.table, 0);
+  EXPECT_EQ(q.value()->joins[0].right.table, 1);
+}
+
+TEST_F(BinderTest, CoercesLiterals) {
+  auto q = ParseAndBind(
+      "select r_id from r where r_day < '1995-06-17' and r_val >= 2",
+      catalog_);
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q.value()->filters[0].literal.type_id(), TypeId::kDate);
+  EXPECT_EQ(q.value()->filters[0].literal.AsInt32(),
+            DateToDays(1995, 6, 17));
+  EXPECT_EQ(q.value()->filters[1].literal.type_id(), TypeId::kDouble);
+}
+
+TEST_F(BinderTest, AggregateTyping) {
+  auto q = ParseAndBind(
+      "select r_id, count(*), sum(r_val), avg(r_id), min(r_name) "
+      "from r group by r_id",
+      catalog_);
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  const auto& aggs = q.value()->aggs;
+  ASSERT_EQ(aggs.size(), 4u);
+  EXPECT_EQ(aggs[0].out_type.id, TypeId::kInt64);   // count
+  EXPECT_EQ(aggs[1].out_type.id, TypeId::kDouble);  // sum(double)
+  EXPECT_EQ(aggs[2].out_type.id, TypeId::kDouble);  // avg
+  EXPECT_EQ(aggs[3].out_type.id, TypeId::kChar);    // min(char)
+}
+
+TEST_F(BinderTest, OrderByBindsAliasColumnAndPosition) {
+  auto q = ParseAndBind(
+      "select r_id, sum(r_val) as total from r group by r_id "
+      "order by total desc, r_id, 1",
+      catalog_);
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  ASSERT_EQ(q.value()->order_by.size(), 3u);
+  EXPECT_EQ(q.value()->order_by[0].output_index, 1);
+  EXPECT_EQ(q.value()->order_by[1].output_index, 0);
+  EXPECT_EQ(q.value()->order_by[2].output_index, 0);
+}
+
+TEST_F(BinderTest, SameTableColumnComparison) {
+  auto q = ParseAndBind("select r_id from r where r_id = r_id", catalog_);
+  ASSERT_TRUE(q.ok());
+  ASSERT_EQ(q.value()->filters.size(), 1u);
+  EXPECT_TRUE(q.value()->filters[0].rhs_is_column);
+}
+
+TEST_F(BinderTest, Errors) {
+  EXPECT_FALSE(ParseAndBind("select nope from r", catalog_).ok());
+  EXPECT_FALSE(ParseAndBind("select r_id from missing", catalog_).ok());
+  // Non-equi cross-table predicate.
+  EXPECT_FALSE(
+      ParseAndBind("select r_id from r, s where r_id < s_id", catalog_).ok());
+  // Select item not in GROUP BY.
+  EXPECT_FALSE(ParseAndBind(
+                   "select r_val, count(*) from r group by r_id", catalog_)
+                   .ok());
+  // Aggregate argument must be numeric for SUM.
+  EXPECT_FALSE(ParseAndBind("select sum(r_name) from r", catalog_).ok());
+  // Duplicate alias.
+  EXPECT_FALSE(ParseAndBind("select 1 from r x, s x", catalog_).ok());
+  // ORDER BY item that matches no output.
+  EXPECT_FALSE(ParseAndBind(
+                   "select r_id from r order by r_val", catalog_)
+                   .ok());
+}
+
+}  // namespace
+}  // namespace hique::sql

@@ -1,0 +1,110 @@
+#include <gtest/gtest.h>
+
+#include "codegen/runtime_abi.h"
+#include "util/cache_info.h"
+#include "util/env.h"
+#include "util/hash.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace hique {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::ParseError("bad token");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kParseError);
+  EXPECT_EQ(s.ToString(), "ParseError: bad token");
+}
+
+TEST(ResultTest, ValueRoundTrip) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+}
+
+TEST(ResultTest, ErrorPropagates) {
+  Result<int> r = Status::NotFound("nope");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(RngTest, Deterministic) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, BoundedStaysInBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextBounded(17), 17u);
+  }
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  std::vector<int> v(100);
+  for (int i = 0; i < 100; ++i) v[i] = i;
+  Rng rng(9);
+  rng.Shuffle(100, [&](uint64_t i, uint64_t j) { std::swap(v[i], v[j]); });
+  std::vector<int> sorted = v;
+  std::sort(sorted.begin(), sorted.end());
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(sorted[i], i);
+}
+
+// The engine-side hash and the hash embedded in generated code must agree:
+// partition assignment happens on both sides of the ABI.
+TEST(HashTest, EngineAndAbiHashesAgree) {
+  for (uint64_t v : {0ull, 1ull, 42ull, 0xDEADBEEFull, ~0ull}) {
+    EXPECT_EQ(HashMix64(v), hq_hash64(v));
+  }
+  const char* data = "BUILDING  ";
+  EXPECT_EQ(HashBytes(data, 10), hq_hash_bytes(data, 10));
+}
+
+TEST(CacheInfoTest, SaneValues) {
+  const CacheInfo& info = HostCacheInfo();
+  EXPECT_GE(info.l1d_bytes, 4096u);
+  EXPECT_GE(info.l2_bytes, info.l1d_bytes);
+  EXPECT_GE(info.line_bytes, 16u);
+}
+
+TEST(EnvTest, WriteReadRoundTrip) {
+  std::string dir = env::ProcessTempDir() + "/envtest";
+  ASSERT_TRUE(env::MakeDirs(dir).ok());
+  std::string path = dir + "/file.txt";
+  ASSERT_TRUE(env::WriteFile(path, "hello\nworld").ok());
+  EXPECT_TRUE(env::FileExists(path));
+  auto contents = env::ReadFile(path);
+  ASSERT_TRUE(contents.ok());
+  EXPECT_EQ(contents.value(), "hello\nworld");
+  auto size = env::FileSize(path);
+  ASSERT_TRUE(size.ok());
+  EXPECT_EQ(size.value(), 11);
+  ASSERT_TRUE(env::RemoveFile(path).ok());
+  EXPECT_FALSE(env::FileExists(path));
+}
+
+TEST(AbiTest, PageLayoutMatches) {
+  EXPECT_EQ(sizeof(HqPage), 4096u);
+  EXPECT_EQ(HQ_PAGE_HEADER, 8u);
+}
+
+}  // namespace
+}  // namespace hique
