@@ -25,6 +25,9 @@ int main(int argc, char** argv) {
   Catalog catalog;
   EngineOptions eopts;
   eopts.gen_dir = env::ProcessTempDir() + "/ablation";
+  // Paper-reproduction runs measure the fully specialized per-literal
+  // code, not the production parameterized variant.
+  eopts.hoist_constants = false;
   HiqueEngine hique(&catalog, eopts);
 
   // Dense domain so both fine and coarse partitioning apply.

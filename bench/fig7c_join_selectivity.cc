@@ -37,6 +37,9 @@ int main(int argc, char** argv) {
   Catalog catalog;
   EngineOptions eopts;
   eopts.gen_dir = env::ProcessTempDir() + "/fig7c";
+  // Paper-reproduction runs measure the fully specialized per-literal
+  // code, not the production parameterized variant.
+  eopts.hoist_constants = false;
   HiqueEngine hique(&catalog, eopts);
   iter::VolcanoEngine volcano(&catalog, iter::Mode::kOptimized);
 

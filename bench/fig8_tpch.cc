@@ -49,6 +49,9 @@ int main(int argc, char** argv) {
 
   EngineOptions eopts;
   eopts.gen_dir = env::ProcessTempDir() + "/fig8";
+  // Paper-reproduction runs measure the fully specialized per-literal
+  // code, not the production parameterized variant.
+  eopts.hoist_constants = false;
   HiqueEngine hique(&catalog, eopts);
   iter::VolcanoEngine pg(&catalog, iter::Mode::kGeneric);
   iter::VolcanoEngine sysx(&catalog, iter::Mode::kOptimized);

@@ -49,6 +49,9 @@ int main(int argc, char** argv) {
     for (int opt : {0, 2}) {
       EngineOptions eopts;
       eopts.gen_dir = env::ProcessTempDir() + "/table3";
+      // Paper-reproduction runs measure the fully specialized per-literal
+      // code, not the production parameterized variant.
+      eopts.hoist_constants = false;
       eopts.compile.opt_level = opt;
       eopts.cache_compiled = false;
       HiqueEngine engine(&catalog, eopts);

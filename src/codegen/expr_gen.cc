@@ -66,8 +66,30 @@ std::string FieldAccess(const std::string& rec, uint32_t offset, Type type) {
   return std::string("(*(const ") + type.CType() + "*)" + addr + ")";
 }
 
+std::string ParamRef(const plan::ParamTable& params, int slot) {
+  HQ_CHECK_MSG(slot >= 0 && slot < static_cast<int>(params.entries.size()),
+               "param slot out of range");
+  const plan::ParamEntry& e = params.entries[slot];
+  std::string idx = std::to_string(e.bank_index);
+  switch (e.type.id) {
+    case TypeId::kInt32:
+    case TypeId::kDate:
+      // Cast back down so comparisons and arithmetic keep the exact types an
+      // inlined int literal would have produced.
+      return "((int32_t)ctx->params->ints[" + idx + "])";
+    case TypeId::kInt64:
+      return "ctx->params->ints[" + idx + "]";
+    case TypeId::kDouble:
+      return "ctx->params->doubles[" + idx + "]";
+    case TypeId::kChar:
+      return "(ctx->params->chars + " + idx + ")";
+  }
+  return "0";
+}
+
 std::string FilterCondition(const std::string& rec, const Schema& schema,
-                            const sql::Filter& filter) {
+                            const sql::Filter& filter,
+                            const plan::ParamTable* params) {
   Type type = schema.ColumnAt(filter.column.column).type;
   uint32_t offset = schema.OffsetAt(filter.column.column);
   std::string lhs = FieldAccess(rec, offset, type);
@@ -82,17 +104,23 @@ std::string FilterCondition(const std::string& rec, const Schema& schema,
     }
     return "(" + lhs + " " + sql::CmpOpToC(filter.op) + " " + rhs + ")";
   }
+  bool hoisted = params != nullptr && filter.param >= 0;
   if (type.id == TypeId::kChar) {
-    return "(memcmp(" + lhs + ", " + CStringLiteral(filter.literal.AsString()) +
-           ", " + std::to_string(type.length) + ") " +
-           sql::CmpOpToC(filter.op) + " 0)";
+    std::string rhs = hoisted
+                          ? ParamRef(*params, filter.param)
+                          : CStringLiteral(filter.literal.AsString());
+    return "(memcmp(" + lhs + ", " + rhs + ", " +
+           std::to_string(type.length) + ") " + sql::CmpOpToC(filter.op) +
+           " 0)";
   }
-  return "(" + lhs + " " + sql::CmpOpToC(filter.op) + " " +
-         LiteralToC(filter.literal) + ")";
+  std::string rhs =
+      hoisted ? ParamRef(*params, filter.param) : LiteralToC(filter.literal);
+  return "(" + lhs + " " + sql::CmpOpToC(filter.op) + " " + rhs + ")";
 }
 
 std::string ScalarToC(const std::string& rec, const plan::RecordLayout& layout,
-                      const sql::ScalarExpr& expr) {
+                      const sql::ScalarExpr& expr,
+                      const plan::ParamTable* params) {
   switch (expr.kind) {
     case sql::ScalarKind::kColumn: {
       int idx = layout.FindField(expr.column);
@@ -100,10 +128,13 @@ std::string ScalarToC(const std::string& rec, const plan::RecordLayout& layout,
       return FieldAccess(rec, layout.OffsetOf(idx), expr.type);
     }
     case sql::ScalarKind::kLiteral:
+      if (params != nullptr && expr.param >= 0) {
+        return ParamRef(*params, expr.param);
+      }
       return LiteralToC(expr.literal);
     case sql::ScalarKind::kArith: {
-      std::string l = ScalarToC(rec, layout, *expr.left);
-      std::string r = ScalarToC(rec, layout, *expr.right);
+      std::string l = ScalarToC(rec, layout, *expr.left, params);
+      std::string r = ScalarToC(rec, layout, *expr.right, params);
       if (expr.type.id == TypeId::kDouble) {
         l = "(double)" + l;
       }

@@ -19,15 +19,27 @@ std::string CStringLiteral(const std::string& s);
 /// CHAR fields render as `((const char*)(rec + 16))`.
 std::string FieldAccess(const std::string& rec, uint32_t offset, Type type);
 
+/// Runtime load of hoisted-constant slot `slot` from the execution context's
+/// parameter block, e.g. `(int32_t)ctx->params->ints[2]` or
+/// `(ctx->params->chars + 16)` for CHAR payloads. Only valid inside
+/// generated functions whose `ctx` names the HqQueryCtx pointer (every
+/// operator function).
+std::string ParamRef(const plan::ParamTable& params, int slot);
+
 /// Condition text for a filter applied to a base-table tuple `rec` whose
-/// layout is the table schema.
+/// layout is the table schema. When `params` is non-null and the filter's
+/// literal carries a param slot, the literal is loaded from the runtime
+/// parameter block instead of being inlined.
 std::string FilterCondition(const std::string& rec, const Schema& schema,
-                            const sql::Filter& filter);
+                            const sql::Filter& filter,
+                            const plan::ParamTable* params = nullptr);
 
 /// C expression computing a bound scalar over a record with the given
-/// layout. All referenced columns must resolve in `layout`.
+/// layout. All referenced columns must resolve in `layout`. Literals with
+/// param slots load from the runtime parameter block when `params` is set.
 std::string ScalarToC(const std::string& rec, const plan::RecordLayout& layout,
-                      const sql::ScalarExpr& expr);
+                      const sql::ScalarExpr& expr,
+                      const plan::ParamTable* params = nullptr);
 
 /// Three-way comparison text between two same-typed fields of two records:
 /// appends statements to `out` that compare and `return -1/1` on inequality.

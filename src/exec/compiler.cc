@@ -20,6 +20,27 @@ std::string RuntimeCompilerPath() {
   return HIQUE_RUNTIME_CXX;
 }
 
+namespace {
+
+/// Single-quotes `s` for POSIX shells so gen dirs containing spaces or
+/// metacharacters survive the std::system command line. (The compiler
+/// invocation and extra_flags stay verbatim: they may legitimately contain
+/// multiple words, e.g. HIQUE_CXX="ccache g++".)
+std::string ShellQuote(const std::string& s) {
+  std::string out = "'";
+  for (char c : s) {
+    if (c == '\'') {
+      out += "'\\''";
+    } else {
+      out += c;
+    }
+  }
+  out += "'";
+  return out;
+}
+
+}  // namespace
+
 Result<CompileResult> CompileToSharedLibrary(const std::string& source,
                                              const std::string& dir,
                                              const std::string& name,
@@ -35,8 +56,9 @@ Result<CompileResult> CompileToSharedLibrary(const std::string& source,
   std::string cmd = RuntimeCompilerPath() + " -shared -fPIC -w -O" +
                     std::to_string(options.opt_level) + " " +
                     options.extra_flags + (options.extra_flags.empty() ? "" : " ") +
-                    "-o " + result.library_path + " " + result.source_path +
-                    " 2> " + log_path;
+                    "-o " + ShellQuote(result.library_path) + " " +
+                    ShellQuote(result.source_path) +
+                    " 2> " + ShellQuote(log_path);
 
   WallTimer timer;
   int rc = std::system(cmd.c_str());

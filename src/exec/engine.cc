@@ -3,6 +3,7 @@
 #include <sstream>
 
 #include "codegen/generator.h"
+#include "plan/params.h"
 #include "sql/binder.h"
 #include "sql/parser.h"
 #include "util/env.h"
@@ -61,101 +62,169 @@ Result<QueryResult> HiqueEngine::Query(const std::string& sql) {
 
 Result<QueryResult> HiqueEngine::QueryWithPlanner(
     const std::string& sql, const plan::PlannerOptions& planner) {
-  // Planner overrides bypass the compiled-query cache: the cache key is the
-  // SQL text alone.
   return Run(sql, planner, /*cacheable=*/false);
 }
 
-Result<HiqueEngine::CachedQuery> HiqueEngine::Prepare(
-    const std::string& sql, const plan::PlannerOptions& planner,
-    bool force_hybrid_agg) {
-  CachedQuery prepared;
+Result<HiqueEngine::CachedQuery> HiqueEngine::Compile(
+    const plan::PhysicalPlan& plan, QueryTimings* timings) {
+  CachedQuery entry;
   WallTimer timer;
-
-  HQ_ASSIGN_OR_RETURN(auto stmt, sql::Parse(sql));
-  prepared.prep_timings.parse_ms = timer.ElapsedMillis();
-
-  timer.Restart();
-  HQ_ASSIGN_OR_RETURN(auto bound, sql::Bind(*stmt, *catalog_));
-  plan::PlannerOptions effective = planner;
-  if (force_hybrid_agg) {
-    effective.force_agg_algo = plan::AggAlgo::kHybridHashSort;
-  }
-  HQ_ASSIGN_OR_RETURN(prepared.plan,
-                      plan::Optimize(std::move(bound), effective));
-  prepared.prep_timings.optimize_ms = timer.ElapsedMillis();
-
-  timer.Restart();
-  HQ_ASSIGN_OR_RETURN(auto generated, codegen::Generate(*prepared.plan));
-  prepared.prep_timings.generate_ms = timer.ElapsedMillis();
-  prepared.entry_symbol = generated.entry_symbol;
-  if (options_.keep_source) prepared.source = generated.source;
+  HQ_ASSIGN_OR_RETURN(auto generated, codegen::Generate(plan));
+  timings->generate_ms = timer.ElapsedMillis();
+  entry.entry_symbol = generated.entry_symbol;
+  if (options_.keep_source) entry.source = generated.source;
 
   std::string name = "q" + std::to_string(next_query_id_++);
   HQ_ASSIGN_OR_RETURN(
-      prepared.compiled,
+      entry.compiled,
       exec::CompileToSharedLibrary(generated.source, options_.gen_dir, name,
                                    options_.compile));
-  prepared.prep_timings.compile_ms = prepared.compiled.compile_seconds * 1e3;
-  return prepared;
+  timings->compile_ms = entry.compiled.compile_seconds * 1e3;
+  return entry;
 }
+
+HiqueEngine::CachedQuery* HiqueEngine::LookupCache(
+    const std::string& signature) {
+  auto it = cache_.find(signature);
+  if (it == cache_.end()) return nullptr;
+  lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+  return &it->second;
+}
+
+HiqueEngine::CachedQuery* HiqueEngine::InsertCache(
+    const std::string& signature, CachedQuery entry) {
+  auto it = cache_.find(signature);
+  if (it != cache_.end()) {
+    // Re-insert (e.g. the map-overflow fallback replacing a stale plan's
+    // artefact): keep the LRU node, swap the payload.
+    entry.lru_pos = it->second.lru_pos;
+    it->second = std::move(entry);
+    lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+    return &it->second;
+  }
+  lru_.push_front(signature);
+  entry.lru_pos = lru_.begin();
+  CachedQuery* stored =
+      &cache_.emplace(signature, std::move(entry)).first->second;
+  while (cache_.size() > options_.max_cached_queries) {
+    // Evict the coldest entry (never the one just inserted — it is at the
+    // LRU front). The .so stays on disk (the gen dir is a process temp
+    // dir); eviction only bounds the in-memory cache, which keeps artefact
+    // paths shareable between entries.
+    cache_.erase(lru_.back());
+    lru_.pop_back();
+  }
+  return stored;
+}
+
+namespace {
+
+/// True when two parameter tables lay out their banks identically (same
+/// slot types and indexes). Both walks are deterministic in plan structure,
+/// so layout equality today implies equality for every future literal
+/// binding of either plan.
+bool SameParamLayout(const plan::ParamTable& a, const plan::ParamTable& b) {
+  if (a.entries.size() != b.entries.size() || a.num_ints != b.num_ints ||
+      a.num_doubles != b.num_doubles ||
+      a.num_char_bytes != b.num_char_bytes) {
+    return false;
+  }
+  for (size_t i = 0; i < a.entries.size(); ++i) {
+    if (!(a.entries[i].type == b.entries[i].type) ||
+        a.entries[i].bank_index != b.entries[i].bank_index) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
 
 Result<QueryResult> HiqueEngine::Run(const std::string& sql,
                                      const plan::PlannerOptions& planner,
                                      bool cacheable) {
-  // Compiled-query cache (paper §VI-D: systems store pre-compiled versions
-  // of recently issued queries; the binaries are small).
-  CachedQuery* cached = nullptr;
-  const std::string& key = sql;
-  auto it = cache_.find(key);
-  if (cacheable && it != cache_.end()) {
-    cached = &it->second;
-  }
-  CachedQuery local;
-  if (cached == nullptr) {
-    auto prepared = Prepare(sql, planner, /*force_hybrid_agg=*/false);
-    if (!prepared.ok()) return prepared.status();
-    local = std::move(prepared).value();
-    cached = &local;
-  }
+  // max_cached_queries == 0 disables caching outright.
+  cacheable = cacheable && options_.max_cached_queries > 0;
+  bool force_hybrid_agg = false;
+  std::string failed_signature;   // overflowed map plan's signature
+  plan::ParamTable failed_params; // ... and its parameter layout
+  for (;;) {
+    QueryResult result;
+    WallTimer timer;
 
-  QueryResult result;
-  result.timings = cached->prep_timings;
-  result.plan_text = cached->plan->ToString();
-  result.generated_source = cached->source;
-  result.source_bytes = cached->compiled.source_bytes;
-  result.library_bytes = cached->compiled.library_bytes;
+    HQ_ASSIGN_OR_RETURN(auto stmt, sql::Parse(sql));
+    result.timings.parse_ms = timer.ElapsedMillis();
 
-  WallTimer timer;
-  auto table = exec::ExecuteCompiled(*cached->plan,
-                                     cached->compiled.library_path,
-                                     cached->entry_symbol, &result.exec_stats);
-  if (!table.ok() && exec::IsMapOverflow(table.status())) {
-    // Statistics were stale: directories overflowed. Re-plan with hybrid
-    // hash-sort aggregation and retry once.
-    auto prepared = Prepare(sql, planner, /*force_hybrid_agg=*/true);
-    if (!prepared.ok()) return prepared.status();
-    local = std::move(prepared).value();
-    cached = &local;
-    result.timings = cached->prep_timings;
-    result.plan_text = cached->plan->ToString();
-    result.generated_source = cached->source;
-    result.source_bytes = cached->compiled.source_bytes;
-    result.library_bytes = cached->compiled.library_bytes;
     timer.Restart();
-    table = exec::ExecuteCompiled(*cached->plan,
-                                  cached->compiled.library_path,
-                                  cached->entry_symbol, &result.exec_stats);
-  }
-  if (!table.ok()) return table.status();
-  result.timings.execute_ms = timer.ElapsedMillis();
-  result.table = std::move(table).value();
-  result.schema = result.table->schema();
+    HQ_ASSIGN_OR_RETURN(auto bound, sql::Bind(*stmt, *catalog_));
+    plan::PlannerOptions effective = planner;
+    if (force_hybrid_agg) {
+      effective.force_agg_algo = plan::AggAlgo::kHybridHashSort;
+    }
+    HQ_ASSIGN_OR_RETURN(auto plan, plan::Optimize(std::move(bound), effective));
+    // Hoist literal constants into the plan's parameter table, then key the
+    // compiled-query cache on the literal-free structural signature.
+    if (options_.hoist_constants) plan::ParameterizePlan(plan.get());
+    result.plan_signature = plan::PlanSignature(*plan);
+    result.timings.optimize_ms = timer.ElapsedMillis();
+    result.plan_text = plan->ToString();
 
-  if (cacheable && cached == &local) {
-    cache_.emplace(key, std::move(local));
+    CachedQuery* entry = cacheable ? LookupCache(result.plan_signature)
+                                   : nullptr;
+    CachedQuery local;
+    if (entry != nullptr) {
+      result.cache_hit = true;
+    } else {
+      auto compiled = Compile(*plan, &result.timings);
+      if (!compiled.ok()) return compiled.status();
+      local = std::move(compiled).value();
+      entry = cacheable
+                  ? InsertCache(result.plan_signature, std::move(local))
+                  : &local;
+    }
+
+    result.generated_source = entry->source;
+    result.source_bytes = entry->compiled.source_bytes;
+    result.library_bytes = entry->compiled.library_bytes;
+    std::string library_path = entry->compiled.library_path;
+    std::string entry_symbol = entry->entry_symbol;
+
+    // Bind the current literal values into the runtime parameter block.
+    exec::BoundParams bound_params;
+    exec::BindParams(plan->params, &bound_params);
+
+    timer.Restart();
+    auto table = exec::ExecuteCompiled(*plan, library_path, entry_symbol,
+                                       &bound_params.abi, &result.exec_stats);
+    if (!table.ok()) {
+      if (exec::IsMapOverflow(table.status()) && !force_hybrid_agg) {
+        // Statistics were stale: directories overflowed. Re-plan with hybrid
+        // hash-sort aggregation and retry once.
+        force_hybrid_agg = true;
+        failed_signature = result.plan_signature;
+        failed_params = plan->params;
+        continue;
+      }
+      return table.status();
+    }
+    result.timings.execute_ms = timer.ElapsedMillis();
+    result.table = std::move(table).value();
+    result.schema = result.table->schema();
+    if (force_hybrid_agg && cacheable && !failed_signature.empty() &&
+        SameParamLayout(failed_params, plan->params)) {
+      // Future repeats re-plan to the overflowing map plan (stats are still
+      // stale), so alias the working fallback library under that plan's
+      // signature too — they then skip the failing execution entirely. Safe
+      // only when both plans bind identical parameter banks, which the
+      // layout check guarantees for every future literal variant.
+      CachedQuery alias;
+      alias.compiled = entry->compiled;
+      alias.entry_symbol = entry->entry_symbol;
+      alias.source = entry->source;
+      InsertCache(failed_signature, std::move(alias));
+    }
+    return result;
   }
-  return result;
 }
 
 }  // namespace hique

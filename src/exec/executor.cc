@@ -9,6 +9,7 @@
 #include "codegen/runtime_abi.h"
 #include "exec/arena.h"
 #include "storage/page.h"
+#include "util/macros.h"
 #include "util/timer.h"
 
 namespace hique::exec {
@@ -59,23 +60,61 @@ bool IsMapOverflow(const Status& status) {
   return !status.ok() && status.message() == kMapOverflowMsg;
 }
 
+void BindParams(const plan::ParamTable& params, BoundParams* out) {
+  out->ints.clear();
+  out->doubles.clear();
+  out->chars.clear();
+  out->ints.resize(params.num_ints, 0);
+  out->doubles.resize(params.num_doubles, 0);
+  out->chars.resize(params.num_char_bytes, ' ');
+  for (const plan::ParamEntry& e : params.entries) {
+    switch (e.type.id) {
+      case TypeId::kInt32:
+      case TypeId::kDate:
+        out->ints[e.bank_index] = e.value.AsInt32();
+        break;
+      case TypeId::kInt64:
+        out->ints[e.bank_index] = e.value.AsInt64();
+        break;
+      case TypeId::kDouble:
+        out->doubles[e.bank_index] = e.value.AsDouble();
+        break;
+      case TypeId::kChar: {
+        // Binder-coerced CHAR literals are already space-padded to the
+        // column width; copy exactly that many payload bytes.
+        const std::string& s = e.value.AsString();
+        HQ_CHECK(s.size() == e.type.length);
+        std::memcpy(out->chars.data() + e.bank_index, s.data(), s.size());
+        break;
+      }
+    }
+  }
+  out->abi.ints = out->ints.data();
+  out->abi.doubles = out->doubles.data();
+  out->abi.chars = out->chars.data();
+  out->abi.num_ints = params.num_ints;
+  out->abi.num_doubles = params.num_doubles;
+  out->abi.num_char_bytes = params.num_char_bytes;
+}
+
 Result<std::unique_ptr<Table>> ExecuteCompiled(const plan::PhysicalPlan& plan,
                                                const std::string& library_path,
                                                const std::string& entry_symbol,
+                                               const HqParams* params,
                                                ExecStats* stats) {
   return ExecuteLibraryOnTables(plan.query->tables, plan.output_schema,
-                                library_path, entry_symbol, stats);
+                                library_path, entry_symbol, params, stats);
 }
 
 Result<std::unique_ptr<Table>> ExecuteLibraryOnTables(
     const std::vector<Table*>& tables, const Schema& output_schema,
     const std::string& library_path, const std::string& entry_symbol,
-    ExecStats* stats) {
+    const HqParams* params, ExecStats* stats) {
   DlHandle handle(dlopen(library_path.c_str(), RTLD_NOW | RTLD_LOCAL));
   if (handle.get() == nullptr) {
     return Status::ExecError(std::string("dlopen failed: ") + dlerror());
   }
-  using EntryFn = int64_t (*)(HqQueryCtx*);
+  using EntryFn = int64_t (*)(HqQueryCtx*, const HqParams*);
   auto entry =
       reinterpret_cast<EntryFn>(dlsym(handle.get(), entry_symbol.c_str()));
   if (entry == nullptr) {
@@ -103,8 +142,10 @@ Result<std::unique_ptr<Table>> ExecuteLibraryOnTables(
   ResultSink sink;
   const Schema& out_schema = output_schema;
 
+  static const HqParams kNoParams = {nullptr, nullptr, nullptr, 0, 0, 0};
   HqQueryCtx ctx;
   std::memset(&ctx, 0, sizeof(ctx));
+  ctx.params = params != nullptr ? params : &kNoParams;
   ctx.inputs = refs.data();
   ctx.num_inputs = static_cast<uint32_t>(refs.size());
   ctx.alloc = &Arena::AllocCallback;
@@ -115,7 +156,7 @@ Result<std::unique_ptr<Table>> ExecuteLibraryOnTables(
   ctx.result_tuples_per_page = Page::TuplesPerPage(out_schema.TupleSize());
 
   WallTimer timer;
-  int64_t rows = entry(&ctx);
+  int64_t rows = entry(&ctx, ctx.params);
   double elapsed = timer.ElapsedSeconds();
 
   if (rows < 0 || ctx.error != HQ_OK) {

@@ -3,7 +3,9 @@
 
 #include <memory>
 #include <string>
+#include <vector>
 
+#include "codegen/runtime_abi.h"
 #include "plan/physical.h"
 #include "storage/table.h"
 #include "util/status.h"
@@ -27,12 +29,29 @@ struct ExecStats {
 /// aggregation.
 bool IsMapOverflow(const Status& status);
 
+/// The runtime materialization of a plan's ParamTable: owning storage for
+/// the banks plus the ABI view handed to generated code. The abi pointers
+/// alias the vectors, so a BoundParams must outlive the execution and must
+/// not be copied/moved after `abi` is read.
+struct BoundParams {
+  std::vector<int64_t> ints;
+  std::vector<double> doubles;
+  std::vector<char> chars;
+  HqParams abi = {nullptr, nullptr, nullptr, 0, 0, 0};
+};
+
+/// Binds the current literal values of `params` into bank arrays laid out
+/// exactly as the generated code expects (plan::ParameterizePlan assigned
+/// the bank indexes).
+void BindParams(const plan::ParamTable& params, BoundParams* out);
+
 /// Loads `library_path`, resolves `entry_symbol`, pins all base tables in
-/// memory, runs the query and returns the result as an in-memory table with
-/// the plan's output schema.
+/// memory, runs the query with the given parameter block (may be null) and
+/// returns the result as an in-memory table with the plan's output schema.
 Result<std::unique_ptr<Table>> ExecuteCompiled(const plan::PhysicalPlan& plan,
                                                const std::string& library_path,
                                                const std::string& entry_symbol,
+                                               const HqParams* params,
                                                ExecStats* stats);
 
 /// Lower-level entry point: runs a compiled query library against an
@@ -41,7 +60,7 @@ Result<std::unique_ptr<Table>> ExecuteCompiled(const plan::PhysicalPlan& plan,
 Result<std::unique_ptr<Table>> ExecuteLibraryOnTables(
     const std::vector<Table*>& tables, const Schema& output_schema,
     const std::string& library_path, const std::string& entry_symbol,
-    ExecStats* stats);
+    const HqParams* params, ExecStats* stats);
 
 }  // namespace hique::exec
 

@@ -266,6 +266,7 @@ class Planner {
     c.rhs_is_column = f.rhs_is_column;
     c.rhs_column = f.rhs_column;
     c.literal = f.literal;
+    c.param = f.param;
     return c;
   }
 

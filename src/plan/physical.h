@@ -142,6 +142,27 @@ struct OutputOp {
 
 using Op = std::variant<StageOp, JoinOp, AggOp, OutputOp>;
 
+/// One hoisted literal constant: its (coerced) type, the value bound by the
+/// current query, and where generated code reads it at run time.
+struct ParamEntry {
+  Type type;
+  Value value;
+  uint32_t bank_index = 0;  // index into ints/doubles; byte offset into chars
+};
+
+/// The ordered parameter table built by plan::ParameterizePlan. Entries are
+/// assigned in canonical plan-structure order, so two structurally identical
+/// plans agree on every slot id and only the bound values differ. Execution
+/// materializes the table into an HqParams block (exec::BindParams).
+struct ParamTable {
+  std::vector<ParamEntry> entries;
+  uint32_t num_ints = 0;        // int32/int64/date bank width
+  uint32_t num_doubles = 0;     // double bank width
+  uint32_t num_char_bytes = 0;  // concatenated CHAR payload bytes
+
+  bool empty() const { return entries.empty(); }
+};
+
 /// Physical property: the stream is globally sorted on these fields (asc).
 struct StreamInfo {
   RecordLayout layout;
@@ -157,6 +178,10 @@ struct PhysicalPlan {
   std::vector<StreamInfo> streams;
   std::vector<Op> ops;
   Schema output_schema;
+
+  /// Hoisted literal constants (populated by plan::ParameterizePlan; empty
+  /// until then, in which case codegen inlines every literal).
+  ParamTable params;
 
   /// Human-readable plan rendering for EXPLAIN-style diagnostics.
   std::string ToString() const;

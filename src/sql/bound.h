@@ -45,6 +45,12 @@ struct ScalarExpr {
   ScalarExprPtr left;
   ScalarExprPtr right;
 
+  /// Hoisted-constant slot (index into the plan's ParamTable) assigned by
+  /// plan::ParameterizePlan, or -1 when the literal stays inlined. Generated
+  /// code reads slotted literals from the runtime parameter block so one
+  /// compiled query serves every literal binding.
+  int param = -1;
+
   static ScalarExprPtr Column(ColRef ref, Type t) {
     auto e = std::make_unique<ScalarExpr>();
     e->kind = ScalarKind::kColumn;
@@ -77,6 +83,7 @@ struct ScalarExpr {
     e->column = column;
     e->literal = literal;
     e->op = op;
+    e->param = param;
     if (left) e->left = left->Clone();
     if (right) e->right = right->Clone();
     return e;
@@ -98,6 +105,9 @@ struct Filter {
   bool rhs_is_column = false;
   ColRef rhs_column;  // same table as `column`
   Value literal;
+
+  /// Hoisted-constant slot for `literal` (see ScalarExpr::param); -1 inlines.
+  int param = -1;
 };
 
 /// Equi-join predicate between two different FROM tables.

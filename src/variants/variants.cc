@@ -482,7 +482,8 @@ std::string EmitVariantSource(MicroQuery query, Style style,
     case MicroQuery::kJoinMerge: {
       src += JoinCore(knobs);
       src += R"(
-extern "C" int64_t hique_query_main(HqQueryCtx* ctx) {
+extern "C" int64_t hique_query_main(HqQueryCtx* ctx, const HqParams* params) {
+  (void)params;
   int64_t nl_cap = ctx->inputs[0].tuple_count;
   int64_t nr_cap = ctx->inputs[1].tuple_count;
   uint8_t* L = (uint8_t*)ctx->alloc(ctx->arena, (uint64_t)(nl_cap + 1) * REC);
@@ -502,7 +503,8 @@ extern "C" int64_t hique_query_main(HqQueryCtx* ctx) {
     case MicroQuery::kJoinHybrid: {
       src += PartitionFn(params.partitions);
       src += JoinCore(knobs);
-      src += "extern \"C\" int64_t hique_query_main(HqQueryCtx* ctx) {\n"
+      src += "extern \"C\" int64_t hique_query_main(HqQueryCtx* ctx, const HqParams* hqp) {\n"
+             "  (void)hqp;\n"
              "  const uint32_t M = " + std::to_string(params.partitions) +
              ";\n";
       src += R"(
@@ -536,7 +538,8 @@ extern "C" int64_t hique_query_main(HqQueryCtx* ctx) {
     case MicroQuery::kAggHybrid: {
       src += PartitionFn(params.partitions);
       src += AggScan(knobs);
-      src += "extern \"C\" int64_t hique_query_main(HqQueryCtx* ctx) {\n"
+      src += "extern \"C\" int64_t hique_query_main(HqQueryCtx* ctx, const HqParams* hqp) {\n"
+             "  (void)hqp;\n"
              "  const uint32_t M = " + std::to_string(params.partitions) +
              ";\n";
       src += R"(
@@ -564,7 +567,8 @@ extern "C" int64_t hique_query_main(HqQueryCtx* ctx) {
       std::string domain = std::to_string(params.map_domain);
       if (knobs.iterators) {
         src += R"(
-extern "C" int64_t hique_query_main(HqQueryCtx* ctx) {
+extern "C" int64_t hique_query_main(HqQueryCtx* ctx, const HqParams* params) {
+  (void)params;
   const int64_t D = )" + domain + R"(;
   double* s2 = (double*)ctx->alloc(ctx->arena, (uint64_t)D * 8);
   double* s3 = (double*)ctx->alloc(ctx->arena, (uint64_t)D * 8);
@@ -593,7 +597,8 @@ extern "C" int64_t hique_query_main(HqQueryCtx* ctx) {
 )";
       } else {
         src += R"(
-extern "C" int64_t hique_query_main(HqQueryCtx* ctx) {
+extern "C" int64_t hique_query_main(HqQueryCtx* ctx, const HqParams* params) {
+  (void)params;
   const int64_t D = )" + domain + R"(;
   double* s2 = (double*)ctx->alloc(ctx->arena, (uint64_t)D * 8);
   double* s3 = (double*)ctx->alloc(ctx->arena, (uint64_t)D * 8);
@@ -653,7 +658,7 @@ Result<VariantRun> RunVariant(MicroQuery query, Style style,
   HQ_ASSIGN_OR_RETURN(auto result, exec::ExecuteLibraryOnTables(
                                        tables, out_schema,
                                        compiled.library_path,
-                                       "hique_query_main", &stats));
+                                       "hique_query_main", nullptr, &stats));
   run.execute_seconds = stats.execute_seconds;
   if (result->NumTuples() != 1) {
     return Status::Internal("variant produced no checksum row");

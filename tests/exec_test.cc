@@ -75,12 +75,16 @@ TEST(EngineTest, CompiledCacheReuse) {
   auto first = engine.Query(sql);
   ASSERT_TRUE(first.ok());
   EXPECT_EQ(engine.CompiledCacheSize(), 1u);
+  EXPECT_FALSE(first.value().cache_hit);
+  EXPECT_GT(first.value().timings.compile_ms, 0.0);
   auto second = engine.Query(sql);
   ASSERT_TRUE(second.ok());
   EXPECT_EQ(engine.CompiledCacheSize(), 1u);
-  // A cache hit pays no compilation.
-  EXPECT_EQ(second.value().timings.compile_ms,
-            first.value().timings.compile_ms);
+  // A cache hit pays no generation or compilation.
+  EXPECT_TRUE(second.value().cache_hit);
+  EXPECT_EQ(second.value().timings.generate_ms, 0.0);
+  EXPECT_EQ(second.value().timings.compile_ms, 0.0);
+  EXPECT_EQ(second.value().plan_signature, first.value().plan_signature);
   EXPECT_EQ(first.value().NumRows(), second.value().NumRows());
 }
 
@@ -111,6 +115,17 @@ TEST(EngineTest, MapOverflowReplansWithHybrid) {
   // The replanned query must not use map aggregation.
   EXPECT_EQ(r.value().plan_text.find("agg map"), std::string::npos)
       << r.value().plan_text;
+
+  // The fallback library is aliased under the overflowing plan's signature:
+  // repeating the query hits the cache instead of re-executing to overflow.
+  auto repeat = engine.Query(sql);
+  ASSERT_TRUE(repeat.ok()) << repeat.status().ToString();
+  EXPECT_TRUE(repeat.value().cache_hit);
+  std::vector<ref::Row> repeat_rows;
+  for (auto& row : repeat.value().Rows()) repeat_rows.push_back(row);
+  Status repeat_cmp = ref::CompareRowSets(expected.value(), repeat_rows,
+                                          false);
+  EXPECT_TRUE(repeat_cmp.ok()) << repeat_cmp.ToString();
 }
 
 TEST(EngineTest, KeepSourceExposesGeneratedCode) {
