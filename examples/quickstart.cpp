@@ -85,5 +85,28 @@ int main() {
     pos = nl + 1;
     ++shown;
   }
+
+  // 4. Prepared statements: compile the template once, execute it for any
+  // `?` binding. Execute skips parse/optimize/generate/compile entirely and
+  // runs the pinned entry point — no dlopen on the hot path.
+  auto stmt = engine.Prepare(
+      "select city, avg(temp) as avg_temp from weather "
+      "where temp >= ? group by city");
+  if (!stmt.ok()) {
+    std::printf("prepare failed: %s\n", stmt.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("\n=== prepared statement (temp >= ?) ===\n");
+  for (double threshold : {7.0, 18.0}) {
+    auto r = engine.Execute(stmt.value(), {Value::Double(threshold)});
+    if (!r.ok()) {
+      std::printf("execute failed: %s\n", r.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("threshold %.1f -> %lld group(s), execute %.2fms "
+                "(parse+optimize+compile: 0ms)\n%s\n",
+                threshold, static_cast<long long>(r.value().NumRows()),
+                r.value().timings.execute_ms, r.value().ToString().c_str());
+  }
   return 0;
 }

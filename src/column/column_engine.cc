@@ -750,6 +750,10 @@ Result<const ColumnTable*> ColumnEngine::Decompose(
 Result<ColumnResult> ColumnEngine::Query(const std::string& sql) {
   WallTimer timer;
   HQ_ASSIGN_OR_RETURN(auto bound, sql::ParseAndBind(sql, *catalog_));
+  if (bound->num_placeholders > 0) {
+    return Status::BindError(
+        "the column engine does not support ? placeholders");
+  }
   std::vector<const ColumnTable*> tables;
   for (size_t t = 0; t < bound->tables.size(); ++t) {
     HQ_ASSIGN_OR_RETURN(const ColumnTable* ct,

@@ -1,0 +1,46 @@
+#include "exec/compiled_library.h"
+
+#include <dlfcn.h>
+
+#include <utility>
+
+#include "util/env.h"
+
+namespace hique::exec {
+
+Result<std::shared_ptr<CompiledLibrary>> CompiledLibrary::Load(
+    CompileResult compiled, const std::string& entry_symbol,
+    std::string source, int opt_level, bool unlink_on_unload) {
+  void* handle = dlopen(compiled.library_path.c_str(), RTLD_NOW | RTLD_LOCAL);
+  if (handle == nullptr) {
+    return Status::ExecError(std::string("dlopen failed: ") + dlerror());
+  }
+  auto entry = reinterpret_cast<HqEntryFn>(dlsym(handle, entry_symbol.c_str()));
+  if (entry == nullptr) {
+    dlclose(handle);
+    return Status::ExecError("entry symbol not found: " + entry_symbol);
+  }
+  // make_shared needs a public constructor; the destructor is the only
+  // cleanup path, so construct directly.
+  std::shared_ptr<CompiledLibrary> lib(new CompiledLibrary());
+  lib->handle_ = handle;
+  lib->entry_ = entry;
+  lib->compiled_ = std::move(compiled);
+  lib->entry_symbol_ = entry_symbol;
+  lib->source_ = std::move(source);
+  lib->opt_level_ = opt_level;
+  lib->unlink_on_unload_ = unlink_on_unload;
+  return lib;
+}
+
+CompiledLibrary::~CompiledLibrary() {
+  if (handle_ != nullptr) dlclose(handle_);
+  if (unlink_on_unload_) {
+    (void)env::RemoveFile(compiled_.library_path);
+    if (!compiled_.source_path.empty()) {
+      (void)env::RemoveFile(compiled_.source_path);
+    }
+  }
+}
+
+}  // namespace hique::exec

@@ -1,12 +1,14 @@
 #include "exec/engine.h"
 
 #include <sstream>
+#include <utility>
 
 #include "codegen/generator.h"
 #include "plan/params.h"
 #include "sql/binder.h"
 #include "sql/parser.h"
 #include "util/env.h"
+#include "util/macros.h"
 #include "util/timer.h"
 
 namespace hique {
@@ -49,11 +51,72 @@ std::string QueryResult::ToString(size_t max_rows) const {
   return out.str();
 }
 
+// ---- PreparedStatement -----------------------------------------------------
+
+/// Immutable after Prepare, so concurrent Execute calls share it freely. The
+/// one exception is the lazily created map-overflow fallback (stale
+/// statistics re-plan), which is guarded by its own mutex.
+struct PreparedStatement::State {
+  std::string sql;
+  std::string signature;
+  std::string plan_text;
+  std::unique_ptr<plan::PhysicalPlan> plan;
+  std::shared_ptr<exec::CompiledLibrary> library;  // pinned: eviction-proof
+  QueryTimings prepare_timings;
+  bool cache_hit = false;
+
+  mutable std::mutex fallback_mu;
+  mutable std::shared_ptr<const State> fallback;
+};
+
+const std::string& PreparedStatement::sql() const {
+  HQ_CHECK_MSG(valid(), "accessor on an unprepared statement");
+  return state_->sql;
+}
+const std::string& PreparedStatement::plan_signature() const {
+  HQ_CHECK_MSG(valid(), "accessor on an unprepared statement");
+  return state_->signature;
+}
+const std::string& PreparedStatement::plan_text() const {
+  HQ_CHECK_MSG(valid(), "accessor on an unprepared statement");
+  return state_->plan_text;
+}
+size_t PreparedStatement::num_placeholders() const {
+  HQ_CHECK_MSG(valid(), "accessor on an unprepared statement");
+  return state_->plan->params.num_placeholders();
+}
+const QueryTimings& PreparedStatement::prepare_timings() const {
+  HQ_CHECK_MSG(valid(), "accessor on an unprepared statement");
+  return state_->prepare_timings;
+}
+bool PreparedStatement::cache_hit() const {
+  HQ_CHECK_MSG(valid(), "accessor on an unprepared statement");
+  return state_->cache_hit;
+}
+
+// ---- HiqueEngine -----------------------------------------------------------
+
 HiqueEngine::HiqueEngine(Catalog* catalog, EngineOptions options)
     : catalog_(catalog), options_(std::move(options)) {
   if (options_.gen_dir.empty()) {
     options_.gen_dir = env::ProcessTempDir() + "/gen";
   }
+}
+
+HiqueEngine::~HiqueEngine() {
+  std::thread worker;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    shutdown_ = true;
+    // Drop queued upgrades (the -O0 libraries keep serving); an in-flight
+    // compile finishes before the worker observes shutdown.
+    tier_jobs_pending_ -= tier_queue_.size();
+    tier_queue_.clear();
+    worker = std::move(tier_worker_);
+  }
+  tier_cv_.notify_all();
+  tier_idle_cv_.notify_all();
+  if (worker.joinable()) worker.join();
 }
 
 Result<QueryResult> HiqueEngine::Query(const std::string& sql) {
@@ -65,56 +128,183 @@ Result<QueryResult> HiqueEngine::QueryWithPlanner(
   return Run(sql, planner, /*cacheable=*/false);
 }
 
-Result<HiqueEngine::CachedQuery> HiqueEngine::Compile(
-    const plan::PhysicalPlan& plan, QueryTimings* timings) {
-  CachedQuery entry;
+Result<std::shared_ptr<exec::CompiledLibrary>> HiqueEngine::CompilePlan(
+    const plan::PhysicalPlan& plan, int opt_level, QueryTimings* timings) {
   WallTimer timer;
   HQ_ASSIGN_OR_RETURN(auto generated, codegen::Generate(plan));
   timings->generate_ms = timer.ElapsedMillis();
-  entry.entry_symbol = generated.entry_symbol;
-  if (options_.keep_source) entry.source = generated.source;
 
   std::string name = "q" + std::to_string(next_query_id_++);
-  HQ_ASSIGN_OR_RETURN(
-      entry.compiled,
-      exec::CompileToSharedLibrary(generated.source, options_.gen_dir, name,
-                                   options_.compile));
-  timings->compile_ms = entry.compiled.compile_seconds * 1e3;
-  return entry;
+  exec::CompileOptions copts = options_.compile;
+  copts.opt_level = opt_level;
+  HQ_ASSIGN_OR_RETURN(auto compiled,
+                      exec::CompileToSharedLibrary(generated.source,
+                                                   options_.gen_dir, name,
+                                                   copts));
+  timings->compile_ms = compiled.compile_seconds * 1e3;
+  // The source text rides along for background tier recompilation; artefact
+  // files are removed when the last owner unloads unless keep_source asks
+  // for them (gen-dir hygiene under sustained traffic).
+  return exec::CompiledLibrary::Load(std::move(compiled),
+                                     generated.entry_symbol,
+                                     std::move(generated.source), opt_level,
+                                     /*unlink_on_unload=*/!options_.keep_source);
 }
 
-HiqueEngine::CachedQuery* HiqueEngine::LookupCache(
+std::shared_ptr<exec::CompiledLibrary> HiqueEngine::LookupCacheLocked(
     const std::string& signature) {
   auto it = cache_.find(signature);
   if (it == cache_.end()) return nullptr;
   lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
-  return &it->second;
+  return it->second.library;
 }
 
-HiqueEngine::CachedQuery* HiqueEngine::InsertCache(
-    const std::string& signature, CachedQuery entry) {
+void HiqueEngine::InsertCacheLocked(
+    const std::string& signature,
+    std::shared_ptr<exec::CompiledLibrary> library) {
   auto it = cache_.find(signature);
   if (it != cache_.end()) {
-    // Re-insert (e.g. the map-overflow fallback replacing a stale plan's
-    // artefact): keep the LRU node, swap the payload.
-    entry.lru_pos = it->second.lru_pos;
-    it->second = std::move(entry);
+    // Replacement (duplicate concurrent compile, overflow alias refresh):
+    // keep the LRU node, swap the payload. In-flight executions and
+    // prepared statements keep the old library alive through their refs.
+    it->second.library = std::move(library);
     lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
-    return &it->second;
+    return;
   }
   lru_.push_front(signature);
-  entry.lru_pos = lru_.begin();
-  CachedQuery* stored =
-      &cache_.emplace(signature, std::move(entry)).first->second;
+  cache_.emplace(signature, CacheEntry{std::move(library), lru_.begin()});
   while (cache_.size() > options_.max_cached_queries) {
     // Evict the coldest entry (never the one just inserted — it is at the
-    // LRU front). The .so stays on disk (the gen dir is a process temp
-    // dir); eviction only bounds the in-memory cache, which keeps artefact
-    // paths shareable between entries.
+    // LRU front). Shared ownership keeps the library loaded for anyone
+    // still executing it; the last owner dlcloses and removes the files.
     cache_.erase(lru_.back());
     lru_.pop_back();
+    ++stats_.evictions;
   }
-  return stored;
+}
+
+std::shared_ptr<exec::CompiledLibrary> HiqueEngine::PeekLibrary(
+    const std::string& signature) {
+  std::lock_guard<std::mutex> lk(mu_);
+  return LookupCacheLocked(signature);
+}
+
+Result<std::shared_ptr<exec::CompiledLibrary>> HiqueEngine::GetOrCompile(
+    const std::string& signature, const plan::PhysicalPlan& plan,
+    bool cacheable, QueryTimings* timings, bool* cache_hit) {
+  *cache_hit = false;
+  if (cacheable) {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (auto lib = LookupCacheLocked(signature)) {
+      ++stats_.hits;
+      *cache_hit = true;
+      return lib;
+    }
+    ++stats_.misses;
+  }
+
+  int opt_level = options_.compile.opt_level;
+  bool tiered = cacheable && options_.tiered_compilation &&
+                options_.tier0_opt_level < opt_level;
+  if (tiered) opt_level = options_.tier0_opt_level;
+
+  HQ_ASSIGN_OR_RETURN(auto library, CompilePlan(plan, opt_level, timings));
+  if (cacheable) {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      InsertCacheLocked(signature, library);
+    }
+    if (tiered) ScheduleTierUpgrade(signature, library);
+  }
+  return library;
+}
+
+void HiqueEngine::ScheduleTierUpgrade(
+    const std::string& signature,
+    const std::shared_ptr<exec::CompiledLibrary>& library) {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (shutdown_) return;
+    tier_queue_.push_back(
+        {signature, library->source(), library->entry_symbol(), library});
+    ++tier_jobs_pending_;
+    if (!tier_worker_.joinable()) {
+      tier_worker_ = std::thread(&HiqueEngine::TierWorkerLoop, this);
+    }
+  }
+  tier_cv_.notify_one();
+}
+
+void HiqueEngine::TierWorkerLoop() {
+  for (;;) {
+    TierJob job;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      tier_cv_.wait(lk, [&] { return shutdown_ || !tier_queue_.empty(); });
+      if (shutdown_) return;
+      job = std::move(tier_queue_.front());
+      tier_queue_.pop_front();
+    }
+
+    // Compile at the final tier outside the lock — queries keep flowing
+    // through the -O0 library meanwhile.
+    std::string name = "q" + std::to_string(next_query_id_++) + "_tier";
+    auto compiled = exec::CompileToSharedLibrary(job.source, options_.gen_dir,
+                                                 name, options_.compile);
+    std::shared_ptr<exec::CompiledLibrary> fresh;
+    if (compiled.ok()) {
+      auto loaded = exec::CompiledLibrary::Load(
+          std::move(compiled).value(), job.entry_symbol, job.source,
+          options_.compile.opt_level, !options_.keep_source);
+      if (loaded.ok()) fresh = std::move(loaded).value();
+      // A failed load falls through: the -O0 tier keeps serving.
+    }
+
+    std::shared_ptr<exec::CompiledLibrary> replaced;  // released unlocked
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (fresh) {
+        auto it = cache_.find(job.signature);
+        // Swap only over the exact library this job was scheduled for: if
+        // the entry was evicted or replaced meanwhile (overflow alias,
+        // concurrent recompile), upgrading by opt level alone could
+        // resurrect a superseded plan under this signature.
+        if (it != cache_.end() && it->second.library == job.origin.lock() &&
+            it->second.library->opt_level() < fresh->opt_level()) {
+          // The atomic tier swap: every later lookup sees the -O2 library;
+          // executions inside the old one finish on their own reference.
+          replaced = std::move(it->second.library);
+          it->second.library = std::move(fresh);
+          ++stats_.tier_upgrades;
+        }
+        // Otherwise drop the fresh library; its files are unlinked by the
+        // destructor.
+      }
+      --tier_jobs_pending_;
+      if (tier_jobs_pending_ == 0) tier_idle_cv_.notify_all();
+    }
+  }
+}
+
+void HiqueEngine::WaitForTierUpgrades() {
+  std::unique_lock<std::mutex> lk(mu_);
+  tier_idle_cv_.wait(lk, [&] { return shutdown_ || tier_jobs_pending_ == 0; });
+}
+
+hique::CacheStats HiqueEngine::StatsSnapshotLocked() const {
+  hique::CacheStats snapshot = stats_;
+  snapshot.entries = cache_.size();
+  return snapshot;
+}
+
+hique::CacheStats HiqueEngine::CacheStats() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return StatsSnapshotLocked();
+}
+
+size_t HiqueEngine::CompiledCacheSize() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return cache_.size();
 }
 
 namespace {
@@ -157,6 +347,10 @@ Result<QueryResult> HiqueEngine::Run(const std::string& sql,
 
     timer.Restart();
     HQ_ASSIGN_OR_RETURN(auto bound, sql::Bind(*stmt, *catalog_));
+    if (bound->num_placeholders > 0) {
+      return Status::BindError(
+          "query contains ? placeholders; use Prepare/Execute to bind values");
+    }
     plan::PlannerOptions effective = planner;
     if (force_hybrid_agg) {
       effective.force_agg_algo = plan::AggAlgo::kHybridHashSort;
@@ -169,32 +363,22 @@ Result<QueryResult> HiqueEngine::Run(const std::string& sql,
     result.timings.optimize_ms = timer.ElapsedMillis();
     result.plan_text = plan->ToString();
 
-    CachedQuery* entry = cacheable ? LookupCache(result.plan_signature)
-                                   : nullptr;
-    CachedQuery local;
-    if (entry != nullptr) {
-      result.cache_hit = true;
-    } else {
-      auto compiled = Compile(*plan, &result.timings);
-      if (!compiled.ok()) return compiled.status();
-      local = std::move(compiled).value();
-      entry = cacheable
-                  ? InsertCache(result.plan_signature, std::move(local))
-                  : &local;
-    }
+    HQ_ASSIGN_OR_RETURN(
+        auto library,
+        GetOrCompile(result.plan_signature, *plan, cacheable, &result.timings,
+                     &result.cache_hit));
 
-    result.generated_source = entry->source;
-    result.source_bytes = entry->compiled.source_bytes;
-    result.library_bytes = entry->compiled.library_bytes;
-    std::string library_path = entry->compiled.library_path;
-    std::string entry_symbol = entry->entry_symbol;
+    if (options_.keep_source) result.generated_source = library->source();
+    result.source_bytes = library->compiled().source_bytes;
+    result.library_bytes = library->compiled().library_bytes;
+    result.library_opt_level = library->opt_level();
 
     // Bind the current literal values into the runtime parameter block.
     exec::BoundParams bound_params;
     exec::BindParams(plan->params, &bound_params);
 
     timer.Restart();
-    auto table = exec::ExecuteCompiled(*plan, library_path, entry_symbol,
+    auto table = exec::ExecuteCompiled(*plan, library->entry(),
                                        &bound_params.abi, &result.exec_stats);
     if (!table.ok()) {
       if (exec::IsMapOverflow(table.status()) && !force_hybrid_agg) {
@@ -216,12 +400,144 @@ Result<QueryResult> HiqueEngine::Run(const std::string& sql,
       // stale), so alias the working fallback library under that plan's
       // signature too — they then skip the failing execution entirely. Safe
       // only when both plans bind identical parameter banks, which the
-      // layout check guarantees for every future literal variant.
-      CachedQuery alias;
-      alias.compiled = entry->compiled;
-      alias.entry_symbol = entry->entry_symbol;
-      alias.source = entry->source;
-      InsertCache(failed_signature, std::move(alias));
+      // layout check guarantees for every future literal variant. Prefer
+      // the hybrid signature's current entry (the tier worker may already
+      // have swapped -O2 in); if the alias is still tier 0, schedule its
+      // own upgrade — the hybrid plan's swap only covers its own key.
+      std::shared_ptr<exec::CompiledLibrary> alias =
+          PeekLibrary(result.plan_signature);
+      if (alias == nullptr) alias = library;
+      {
+        std::lock_guard<std::mutex> lk(mu_);
+        InsertCacheLocked(failed_signature, alias);
+      }
+      if (options_.tiered_compilation &&
+          alias->opt_level() < options_.compile.opt_level) {
+        ScheduleTierUpgrade(failed_signature, alias);
+      }
+    }
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      result.cache_stats = StatsSnapshotLocked();
+    }
+    return result;
+  }
+}
+
+Result<std::shared_ptr<const PreparedStatement::State>>
+HiqueEngine::PrepareState(const std::string& sql, bool force_hybrid_agg) {
+  auto state = std::make_shared<PreparedStatement::State>();
+  state->sql = sql;
+
+  WallTimer timer;
+  HQ_ASSIGN_OR_RETURN(auto stmt, sql::Parse(sql));
+  state->prepare_timings.parse_ms = timer.ElapsedMillis();
+
+  timer.Restart();
+  HQ_ASSIGN_OR_RETURN(auto bound, sql::Bind(*stmt, *catalog_));
+  plan::PlannerOptions effective = options_.planner;
+  if (force_hybrid_agg) {
+    effective.force_agg_algo = plan::AggAlgo::kHybridHashSort;
+  }
+  HQ_ASSIGN_OR_RETURN(auto plan, plan::Optimize(std::move(bound), effective));
+  // Placeholders must live in the parameter block even when constant
+  // hoisting is off — they have no value to inline at prepare time.
+  plan::ParameterizePlan(plan.get(),
+                         options_.hoist_constants
+                             ? plan::ParamMode::kAllLiterals
+                             : plan::ParamMode::kPlaceholdersOnly);
+  state->signature = plan::PlanSignature(*plan);
+  state->prepare_timings.optimize_ms = timer.ElapsedMillis();
+  state->plan_text = plan->ToString();
+
+  const auto& slots = plan->params.placeholder_entries;
+  for (size_t i = 0; i < slots.size(); ++i) {
+    if (slots[i] < 0) {
+      return Status::BindError(
+          "placeholder ?" + std::to_string(i + 1) +
+          " sits in a position the plan cannot parameterize");
+    }
+  }
+
+  bool cacheable = options_.cache_compiled && options_.max_cached_queries > 0;
+  bool hit = false;
+  HQ_ASSIGN_OR_RETURN(state->library,
+                      GetOrCompile(state->signature, *plan, cacheable,
+                                   &state->prepare_timings, &hit));
+  state->cache_hit = hit;
+  state->plan = std::move(plan);
+  return std::shared_ptr<const PreparedStatement::State>(std::move(state));
+}
+
+Result<PreparedStatement> HiqueEngine::Prepare(const std::string& sql) {
+  HQ_ASSIGN_OR_RETURN(auto state, PrepareState(sql, /*force_hybrid_agg=*/false));
+  PreparedStatement prepared;
+  prepared.state_ = std::move(state);
+  return prepared;
+}
+
+Result<QueryResult> HiqueEngine::Execute(const PreparedStatement& stmt,
+                                         const std::vector<Value>& values) {
+  if (!stmt.valid()) {
+    return Status::BindError("invalid (default-constructed) PreparedStatement");
+  }
+  std::shared_ptr<const PreparedStatement::State> state = stmt.state_;
+  {
+    // A previous execution already hit the map-overflow fallback (stale
+    // statistics): start there, skipping the known-doomed map plan.
+    std::lock_guard<std::mutex> lk(state->fallback_mu);
+    if (state->fallback != nullptr) {
+      auto fallback = state->fallback;
+      state = std::move(fallback);
+    }
+  }
+  for (int attempt = 0;; ++attempt) {
+    QueryResult result;
+    result.plan_signature = state->signature;
+    result.plan_text = state->plan_text;
+    result.cache_hit = true;  // Execute never generates or compiles
+
+    // Prefer the cache's current library for this signature: the background
+    // worker may have swapped in the -O2 tier since Prepare. The statement's
+    // pinned library is the eviction-proof fallback.
+    std::shared_ptr<exec::CompiledLibrary> library =
+        PeekLibrary(state->signature);
+    if (library == nullptr) library = state->library;
+    result.library_opt_level = library->opt_level();
+    result.source_bytes = library->compiled().source_bytes;
+    result.library_bytes = library->compiled().library_bytes;
+    if (options_.keep_source) result.generated_source = library->source();
+
+    exec::BoundParams bound_params;
+    HQ_RETURN_IF_ERROR(
+        exec::BindParamValues(state->plan->params, values, &bound_params));
+
+    WallTimer timer;
+    auto table = exec::ExecuteCompiled(*state->plan, library->entry(),
+                                       &bound_params.abi, &result.exec_stats);
+    if (!table.ok()) {
+      if (exec::IsMapOverflow(table.status()) && attempt == 0) {
+        // Stale statistics: lazily prepare the hybrid-aggregation fallback
+        // once (shared by all executions of this statement) and retry.
+        std::lock_guard<std::mutex> lk(state->fallback_mu);
+        if (state->fallback == nullptr) {
+          auto fallback = PrepareState(state->sql, /*force_hybrid_agg=*/true);
+          if (!fallback.ok()) return fallback.status();
+          state->fallback = std::move(fallback).value();
+        }
+        auto next = state->fallback;
+        // Unlock before the retry executes through the fallback state.
+        state = std::move(next);
+        continue;
+      }
+      return table.status();
+    }
+    result.timings.execute_ms = timer.ElapsedMillis();
+    result.table = std::move(table).value();
+    result.schema = result.table->schema();
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      result.cache_stats = StatsSnapshotLocked();
     }
     return result;
   }

@@ -1,12 +1,18 @@
 #ifndef HIQUE_EXEC_ENGINE_H_
 #define HIQUE_EXEC_ENGINE_H_
 
+#include <atomic>
+#include <condition_variable>
+#include <deque>
 #include <list>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <thread>
 #include <unordered_map>
 #include <vector>
 
+#include "exec/compiled_library.h"
 #include "exec/compiler.h"
 #include "exec/executor.h"
 #include "plan/optimizer.h"
@@ -16,14 +22,27 @@
 namespace hique {
 
 /// Per-phase preparation cost (Table III in the paper) plus execution time.
-/// On a compiled-query cache hit, generate_ms and compile_ms are zero: the
-/// hit pays only parse + optimize + parameter binding + execution.
+/// On a compiled-query cache hit, generate_ms and compile_ms are zero; on a
+/// prepared-statement Execute, parse_ms and optimize_ms are zero as well —
+/// re-execution pays only parameter binding + execution.
 struct QueryTimings {
   double parse_ms = 0;
   double optimize_ms = 0;
   double generate_ms = 0;
   double compile_ms = 0;
   double execute_ms = 0;
+};
+
+/// Snapshot of the compiled-query cache counters. `entries` is the current
+/// cache population; the event counters are cumulative over the engine's
+/// lifetime. tier_upgrades counts background -O0 -> -O2 recompilations that
+/// were atomically swapped in under an existing signature.
+struct CacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;
+  uint64_t tier_upgrades = 0;
+  uint64_t entries = 0;
 };
 
 /// A fully evaluated query: result rows plus everything the paper reports
@@ -39,6 +58,8 @@ struct QueryResult {
   std::string plan_text;
   std::string plan_signature;    // canonical structural cache key
   bool cache_hit = false;        // compiled library reused; no gen/compile
+  int library_opt_level = 0;     // -O tier of the library that executed
+  CacheStats cache_stats;        // engine cache snapshot after this query
   exec::ExecStats exec_stats;
 
   int64_t NumRows() const { return table ? static_cast<int64_t>(table->NumTuples()) : 0; }
@@ -54,14 +75,48 @@ struct EngineOptions {
   plan::PlannerOptions planner;
   exec::CompileOptions compile;
   bool keep_source = false;      // retain generated source text in results
+                                 // AND on-disk artefacts after library unload
   bool cache_compiled = true;    // reuse compiled queries by plan signature
   // Hoist literal constants into a runtime parameter block so queries that
   // differ only in literals share one compiled library. Disabling restores
   // the paper's fully specialized per-literal code (and per-literal cache
-  // entries, since inlined literals then appear in the signature).
+  // entries, since inlined literals then appear in the signature). `?`
+  // placeholders are always hoisted — they have no value to inline.
   bool hoist_constants = true;
   size_t max_cached_queries = 64;  // LRU bound on distinct compiled plans
+  // Tiered compilation (paper Table II: -O0 compiles ~3x faster, -O2 runs
+  // faster): cacheable queries first compile at tier0_opt_level for low
+  // first-execution latency, then a background worker recompiles at
+  // compile.opt_level and atomically swaps the library under the same
+  // signature. Uncacheable queries (QueryWithPlanner, caching disabled)
+  // compile directly at compile.opt_level.
+  bool tiered_compilation = true;
+  int tier0_opt_level = 0;
   std::string gen_dir;           // defaults to a process temp dir
+};
+
+/// A prepared statement: the fully planned, compiled form of one SQL string
+/// whose `?` placeholders are bound per execution. Value-semantic handle
+/// over immutable shared state — cheap to copy, safe to Execute from many
+/// threads concurrently. The statement pins its compiled library, so cache
+/// eviction can never invalidate it.
+class PreparedStatement {
+ public:
+  PreparedStatement() = default;
+
+  bool valid() const { return state_ != nullptr; }
+  const std::string& sql() const;
+  const std::string& plan_signature() const;
+  const std::string& plan_text() const;
+  size_t num_placeholders() const;
+  /// Preparation cost: parse/optimize/generate/compile paid once at Prepare.
+  const QueryTimings& prepare_timings() const;
+  bool cache_hit() const;  // library was reused from the cache at Prepare
+
+ private:
+  friend class HiqueEngine;
+  struct State;
+  std::shared_ptr<const State> state_;
 };
 
 /// HIQUE: the holistic integrated query engine (paper §IV, Fig. 2).
@@ -69,54 +124,133 @@ struct EngineOptions {
 /// dlopen -> bind params -> run. The compiled-query cache is keyed on the
 /// canonical plan signature, so `... WHERE l_quantity < 24` and `... < 25`
 /// share one compiled library and only the parameter block differs.
+///
+/// Thread-safe: Query / QueryWithPlanner / Prepare / Execute may be called
+/// concurrently. The cache holds shared_ptr<CompiledLibrary> entries, so an
+/// eviction or tier swap never unloads a library mid-execution; concurrent
+/// misses on one signature may compile twice (both results are valid, the
+/// later insert wins). Base tables must not be mutated during queries
+/// (file-backed tables additionally share a non-thread-safe BufferManager).
 class HiqueEngine {
  public:
   explicit HiqueEngine(Catalog* catalog, EngineOptions options = {});
+  ~HiqueEngine();
+  HiqueEngine(const HiqueEngine&) = delete;
+  HiqueEngine& operator=(const HiqueEngine&) = delete;
 
   Catalog* catalog() const { return catalog_; }
   const EngineOptions& options() const { return options_; }
 
-  /// Evaluates one SELECT statement end to end.
+  /// Evaluates one SELECT statement end to end. SQL containing `?`
+  /// placeholders must go through Prepare/Execute instead.
   Result<QueryResult> Query(const std::string& sql);
 
   /// Same, with per-query planner overrides (used by the benchmarks to pin
   /// specific algorithms, as the paper's §VI-B sweeps do). Bypasses the
-  /// compiled-query cache so sweeps always measure a fresh compile.
+  /// compiled-query cache so sweeps always measure a fresh compile; the
+  /// artefacts are deleted after execution unless keep_source is set.
   Result<QueryResult> QueryWithPlanner(const std::string& sql,
                                        const plan::PlannerOptions& planner);
 
+  /// Parses, optimizes and compiles `sql` once, binding `?` placeholders to
+  /// parameter-table slots (types inferred from their comparison/arithmetic
+  /// context). The returned statement shares the signature-keyed cache with
+  /// Query(): preparing a template another query already compiled is a hit.
+  Result<PreparedStatement> Prepare(const std::string& sql);
+
+  /// Executes a prepared statement with one value per `?` placeholder
+  /// (lexical order). Skips parse/optimize/signature entirely — timings
+  /// report zero for every phase but execution — and runs through the
+  /// statement's pinned entry point: no dlopen/dlsym. Picks up the
+  /// tier-upgraded library when the background worker has swapped one in.
+  Result<QueryResult> Execute(const PreparedStatement& stmt,
+                              const std::vector<Value>& values = {});
+
+  /// Cache counters (hits / misses / evictions / tier-upgrades / entries).
+  hique::CacheStats CacheStats() const;
+
   /// Number of distinct compiled queries currently cached.
-  size_t CompiledCacheSize() const { return cache_.size(); }
+  size_t CompiledCacheSize() const;
+
+  /// Blocks until every scheduled background tier recompilation has been
+  /// processed (swapped in or abandoned). Benchmarks and tests use this to
+  /// observe the -O2 tier deterministically.
+  void WaitForTierUpgrades();
 
  private:
-  /// One compiled artefact, keyed by plan signature. Queries that differ
-  /// only in hoisted literals map to the same entry.
-  struct CachedQuery {
-    exec::CompileResult compiled;
-    std::string entry_symbol;
-    std::string source;  // kept when EngineOptions::keep_source
+  struct CacheEntry {
+    std::shared_ptr<exec::CompiledLibrary> library;
     std::list<std::string>::iterator lru_pos;  // into lru_ (front = hottest)
+  };
+  struct TierJob {
+    std::string signature;
+    std::string source;
+    std::string entry_symbol;
+    // The library this job upgrades. The swap only happens while the cache
+    // entry still holds exactly this library — if something else replaced
+    // it meanwhile (e.g. the map-overflow alias installing the hybrid
+    // fallback under this signature), upgrading would resurrect a stale
+    // plan, so the job is discarded instead.
+    std::weak_ptr<exec::CompiledLibrary> origin;
   };
 
   Result<QueryResult> Run(const std::string& sql,
                           const plan::PlannerOptions& planner,
                           bool cacheable);
 
-  /// Generates + compiles `plan` into a CachedQuery (no cache interaction).
-  Result<CachedQuery> Compile(const plan::PhysicalPlan& plan,
-                              QueryTimings* timings);
+  /// Parses/optimizes/parameterizes into a prepared state; `force_hybrid_agg`
+  /// is the stale-statistics fallback used when map aggregation overflowed.
+  Result<std::shared_ptr<const PreparedStatement::State>> PrepareState(
+      const std::string& sql, bool force_hybrid_agg);
 
-  /// Cache maintenance. Lookup moves the entry to the LRU front; Insert
-  /// stores (or replaces) the entry, evicts the coldest entries beyond
-  /// max_cached_queries, and returns the stored entry.
-  CachedQuery* LookupCache(const std::string& signature);
-  CachedQuery* InsertCache(const std::string& signature, CachedQuery entry);
+  /// Generates + compiles `plan` at `opt_level` and loads the library.
+  Result<std::shared_ptr<exec::CompiledLibrary>> CompilePlan(
+      const plan::PhysicalPlan& plan, int opt_level, QueryTimings* timings);
+
+  /// Cache lookup / compile-on-miss. On a hit the entry moves to the LRU
+  /// front and `cache_hit` is set; on a miss the plan is compiled (at the
+  /// tier-0 level when tiered compilation applies), inserted, and a
+  /// background tier upgrade is scheduled. With `cacheable` false, compiles
+  /// a private library at full opt level without touching the cache.
+  Result<std::shared_ptr<exec::CompiledLibrary>> GetOrCompile(
+      const std::string& signature, const plan::PhysicalPlan& plan,
+      bool cacheable, QueryTimings* timings, bool* cache_hit);
+
+  /// Returns the cached library for `signature` (moving it to the LRU
+  /// front), or null. Does not count a hit/miss.
+  std::shared_ptr<exec::CompiledLibrary> PeekLibrary(
+      const std::string& signature);
+
+  // Both require mu_ held.
+  std::shared_ptr<exec::CompiledLibrary> LookupCacheLocked(
+      const std::string& signature);
+  void InsertCacheLocked(const std::string& signature,
+                         std::shared_ptr<exec::CompiledLibrary> library);
+
+  void ScheduleTierUpgrade(
+      const std::string& signature,
+      const std::shared_ptr<exec::CompiledLibrary>& library);
+  void TierWorkerLoop();
+  hique::CacheStats StatsSnapshotLocked() const;
 
   Catalog* catalog_;
   EngineOptions options_;
-  std::unordered_map<std::string, CachedQuery> cache_;
+
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, CacheEntry> cache_;
   std::list<std::string> lru_;
-  uint64_t next_query_id_ = 0;
+  hique::CacheStats stats_;   // entries field maintained lazily in snapshots
+
+  // Background tier-upgrade worker: lazily started, joined in ~HiqueEngine.
+  // Pending jobs are dropped at shutdown (the -O0 library keeps serving).
+  std::thread tier_worker_;
+  std::condition_variable tier_cv_;
+  std::condition_variable tier_idle_cv_;
+  std::deque<TierJob> tier_queue_;
+  uint64_t tier_jobs_pending_ = 0;
+  bool shutdown_ = false;
+
+  std::atomic<uint64_t> next_query_id_{0};
 };
 
 }  // namespace hique

@@ -8,6 +8,7 @@
 
 #include "codegen/runtime_abi.h"
 #include "exec/arena.h"
+#include "sql/binder.h"
 #include "storage/page.h"
 #include "util/macros.h"
 #include "util/timer.h"
@@ -60,6 +61,37 @@ bool IsMapOverflow(const Status& status) {
   return !status.ok() && status.message() == kMapOverflowMsg;
 }
 
+namespace {
+
+/// Stores one (already type-coerced) value into the bank slot described by
+/// `entry`. The single point of truth for bank layout semantics — both the
+/// literal-binding and the placeholder-binding paths go through it.
+void StoreEntry(const plan::ParamEntry& entry, const Value& v,
+                BoundParams* out) {
+  switch (entry.type.id) {
+    case TypeId::kInt32:
+    case TypeId::kDate:
+      out->ints[entry.bank_index] = v.AsInt32();
+      break;
+    case TypeId::kInt64:
+      out->ints[entry.bank_index] = v.AsInt64();
+      break;
+    case TypeId::kDouble:
+      out->doubles[entry.bank_index] = v.AsDouble();
+      break;
+    case TypeId::kChar: {
+      // Binder-coerced CHAR values are already space-padded to the column
+      // width; copy exactly that many payload bytes.
+      const std::string& s = v.AsString();
+      HQ_CHECK(s.size() == entry.type.length);
+      std::memcpy(out->chars.data() + entry.bank_index, s.data(), s.size());
+      break;
+    }
+  }
+}
+
+}  // namespace
+
 void BindParams(const plan::ParamTable& params, BoundParams* out) {
   out->ints.clear();
   out->doubles.clear();
@@ -68,26 +100,7 @@ void BindParams(const plan::ParamTable& params, BoundParams* out) {
   out->doubles.resize(params.num_doubles, 0);
   out->chars.resize(params.num_char_bytes, ' ');
   for (const plan::ParamEntry& e : params.entries) {
-    switch (e.type.id) {
-      case TypeId::kInt32:
-      case TypeId::kDate:
-        out->ints[e.bank_index] = e.value.AsInt32();
-        break;
-      case TypeId::kInt64:
-        out->ints[e.bank_index] = e.value.AsInt64();
-        break;
-      case TypeId::kDouble:
-        out->doubles[e.bank_index] = e.value.AsDouble();
-        break;
-      case TypeId::kChar: {
-        // Binder-coerced CHAR literals are already space-padded to the
-        // column width; copy exactly that many payload bytes.
-        const std::string& s = e.value.AsString();
-        HQ_CHECK(s.size() == e.type.length);
-        std::memcpy(out->chars.data() + e.bank_index, s.data(), s.size());
-        break;
-      }
-    }
+    StoreEntry(e, e.value, out);
   }
   out->abi.ints = out->ints.data();
   out->abi.doubles = out->doubles.data();
@@ -97,13 +110,35 @@ void BindParams(const plan::ParamTable& params, BoundParams* out) {
   out->abi.num_char_bytes = params.num_char_bytes;
 }
 
+Status BindParamValues(const plan::ParamTable& params,
+                       const std::vector<Value>& values, BoundParams* out) {
+  if (values.size() != params.num_placeholders()) {
+    return Status::BindError(
+        "prepared statement expects " +
+        std::to_string(params.num_placeholders()) + " parameter value(s), " +
+        std::to_string(values.size()) + " given");
+  }
+  BindParams(params, out);
+  for (size_t i = 0; i < values.size(); ++i) {
+    int slot = params.placeholder_entries[i];
+    HQ_CHECK_MSG(slot >= 0, "unassigned placeholder slot");
+    const plan::ParamEntry& e = params.entries[slot];
+    auto coerced = sql::CoerceValueToType(values[i], e.type);
+    if (!coerced.ok()) {
+      return Status::BindError("parameter " + std::to_string(i + 1) + ": " +
+                               coerced.status().message());
+    }
+    StoreEntry(e, coerced.value(), out);
+  }
+  return Status::OK();
+}
+
 Result<std::unique_ptr<Table>> ExecuteCompiled(const plan::PhysicalPlan& plan,
-                                               const std::string& library_path,
-                                               const std::string& entry_symbol,
+                                               HqEntryFn entry,
                                                const HqParams* params,
                                                ExecStats* stats) {
-  return ExecuteLibraryOnTables(plan.query->tables, plan.output_schema,
-                                library_path, entry_symbol, params, stats);
+  return ExecuteEntryOnTables(plan.query->tables, plan.output_schema, entry,
+                              params, stats);
 }
 
 Result<std::unique_ptr<Table>> ExecuteLibraryOnTables(
@@ -114,13 +149,17 @@ Result<std::unique_ptr<Table>> ExecuteLibraryOnTables(
   if (handle.get() == nullptr) {
     return Status::ExecError(std::string("dlopen failed: ") + dlerror());
   }
-  using EntryFn = int64_t (*)(HqQueryCtx*, const HqParams*);
   auto entry =
-      reinterpret_cast<EntryFn>(dlsym(handle.get(), entry_symbol.c_str()));
+      reinterpret_cast<HqEntryFn>(dlsym(handle.get(), entry_symbol.c_str()));
   if (entry == nullptr) {
     return Status::ExecError("entry symbol not found: " + entry_symbol);
   }
+  return ExecuteEntryOnTables(tables, output_schema, entry, params, stats);
+}
 
+Result<std::unique_ptr<Table>> ExecuteEntryOnTables(
+    const std::vector<Table*>& tables, const Schema& output_schema,
+    HqEntryFn entry, const HqParams* params, ExecStats* stats) {
   // Pin every base table in memory (main-memory execution, paper §VI).
   std::vector<PinnedPages> pinned(tables.size());
   std::vector<std::vector<uint8_t*>> page_ptrs(tables.size());

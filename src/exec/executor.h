@@ -45,22 +45,35 @@ struct BoundParams {
 /// the bank indexes).
 void BindParams(const plan::ParamTable& params, BoundParams* out);
 
-/// Loads `library_path`, resolves `entry_symbol`, pins all base tables in
-/// memory, runs the query with the given parameter block (may be null) and
-/// returns the result as an in-memory table with the plan's output schema.
+/// BindParams plus prepared-statement values: every `?` placeholder slot is
+/// overwritten with the corresponding entry of `values` (coerced to the
+/// slot's type with the binder's rules). Errors on arity mismatch or an
+/// uncoercible value. Thread-safe: `params` is read-only and `out` is local
+/// to the execution.
+Status BindParamValues(const plan::ParamTable& params,
+                       const std::vector<Value>& values, BoundParams* out);
+
+/// Runs an already-resolved query entry point (see exec::CompiledLibrary)
+/// with the given parameter block (may be null): pins all base tables in
+/// memory, executes, and returns the result as an in-memory table with the
+/// plan's output schema. The cache-hit hot path — no dlopen/dlsym.
 Result<std::unique_ptr<Table>> ExecuteCompiled(const plan::PhysicalPlan& plan,
-                                               const std::string& library_path,
-                                               const std::string& entry_symbol,
+                                               HqEntryFn entry,
                                                const HqParams* params,
                                                ExecStats* stats);
 
-/// Lower-level entry point: runs a compiled query library against an
-/// explicit table list (used by the §VI-A microbenchmark variants, which
-/// bypass the SQL front end).
+/// Lower-level entry points: run a compiled query against an explicit table
+/// list (used by the §VI-A microbenchmark variants, which bypass the SQL
+/// front end). The library_path variant dlopens per call; the HqEntryFn
+/// variant executes a preloaded entry.
 Result<std::unique_ptr<Table>> ExecuteLibraryOnTables(
     const std::vector<Table*>& tables, const Schema& output_schema,
     const std::string& library_path, const std::string& entry_symbol,
     const HqParams* params, ExecStats* stats);
+
+Result<std::unique_ptr<Table>> ExecuteEntryOnTables(
+    const std::vector<Table*>& tables, const Schema& output_schema,
+    HqEntryFn entry, const HqParams* params, ExecStats* stats);
 
 }  // namespace hique::exec
 

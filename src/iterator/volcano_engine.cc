@@ -9,6 +9,10 @@ Result<VolcanoResult> VolcanoEngine::Query(
     const std::string& sql, const plan::PlannerOptions& planner) {
   WallTimer timer;
   HQ_ASSIGN_OR_RETURN(auto bound, sql::ParseAndBind(sql, *catalog_));
+  if (bound->num_placeholders > 0) {
+    return Status::BindError(
+        "the iterator engine does not support ? placeholders");
+  }
   HQ_ASSIGN_OR_RETURN(auto plan, plan::Optimize(std::move(bound), planner));
   VolcanoResult result;
   result.plan_text = plan->ToString();

@@ -185,7 +185,12 @@ class Planner {
       default:
         break;
     }
-    // Range predicate: assume uniform over [min, max].
+    // Range predicate: assume uniform over [min, max]. A `?` placeholder
+    // carries a zero stand-in value at plan time — estimating from it would
+    // shape the plan (directory capacities, partition counts) for `col < 0`;
+    // the plan must serve every future binding, so use the neutral default.
+    // (Equality above is fine: 1/distinct is value-independent.)
+    if (f.placeholder >= 0) return 0.3;
     double lo = cs.min.AsDouble(), hi = cs.max.AsDouble();
     if (cs.min.type_id() == TypeId::kChar || hi <= lo) return 0.3;
     double v = f.literal.AsDouble();
@@ -267,6 +272,7 @@ class Planner {
     c.rhs_column = f.rhs_column;
     c.literal = f.literal;
     c.param = f.param;
+    c.placeholder = f.placeholder;
     return c;
   }
 

@@ -19,7 +19,8 @@ using sql::ScalarKind;
 /// agree on every slot id.
 class Parameterizer {
  public:
-  explicit Parameterizer(PhysicalPlan* plan) : plan_(plan) {}
+  Parameterizer(PhysicalPlan* plan, ParamMode mode)
+      : plan_(plan), mode_(mode) {}
 
   void Run() {
     for (auto& op : plan_->ops) {
@@ -49,6 +50,17 @@ class Parameterizer {
         }
       }
     }
+    // Placeholder ordinal -> slot map. A -1 survivor means a placeholder sat
+    // in a position the canonical walk never visits; the engine rejects the
+    // plan rather than execute with an unbound value.
+    ParamTable& t = plan_->params;
+    t.placeholder_entries.assign(plan_->query->num_placeholders, -1);
+    for (size_t i = 0; i < t.entries.size(); ++i) {
+      int ph = t.entries[i].placeholder;
+      if (ph >= 0 && ph < static_cast<int>(t.placeholder_entries.size())) {
+        t.placeholder_entries[ph] = static_cast<int>(i);
+      }
+    }
   }
 
  private:
@@ -60,7 +72,8 @@ class Parameterizer {
 
   void AssignFilter(Filter* f) {
     if (f->rhs_is_column || f->param >= 0) return;
-    f->param = AddEntry(f->literal);
+    if (mode_ == ParamMode::kPlaceholdersOnly && f->placeholder < 0) return;
+    f->param = AddEntry(f->literal, f->placeholder);
   }
 
   /// Hoists numeric literals only: CHAR literals inside scalar expressions
@@ -68,18 +81,20 @@ class Parameterizer {
   /// *filter* literals are hoisted through AssignFilter into the byte bank).
   void AssignExpr(ScalarExpr* e) {
     if (e->kind == ScalarKind::kLiteral && e->param < 0 &&
-        e->type.id != TypeId::kChar) {
-      e->param = AddEntry(e->literal);
+        e->type.id != TypeId::kChar &&
+        (mode_ == ParamMode::kAllLiterals || e->placeholder >= 0)) {
+      e->param = AddEntry(e->literal, e->placeholder);
     }
     if (e->left) AssignExpr(e->left.get());
     if (e->right) AssignExpr(e->right.get());
   }
 
-  int AddEntry(const Value& v) {
+  int AddEntry(const Value& v, int placeholder) {
     ParamTable& t = plan_->params;
     ParamEntry entry;
     entry.type = v.type();
     entry.value = v;
+    entry.placeholder = placeholder;
     switch (v.type_id()) {
       case TypeId::kInt32:
       case TypeId::kInt64:
@@ -99,6 +114,7 @@ class Parameterizer {
   }
 
   PhysicalPlan* plan_;
+  ParamMode mode_;
 };
 
 // ---- signature serialization ----------------------------------------------
@@ -215,7 +231,9 @@ void SigIntList(std::ostream& out, const std::vector<T>& v) {
 
 }  // namespace
 
-void ParameterizePlan(PhysicalPlan* plan) { Parameterizer(plan).Run(); }
+void ParameterizePlan(PhysicalPlan* plan, ParamMode mode) {
+  Parameterizer(plan, mode).Run();
+}
 
 std::string PlanSignature(const PhysicalPlan& plan) {
   std::ostringstream out;

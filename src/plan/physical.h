@@ -148,6 +148,7 @@ struct ParamEntry {
   Type type;
   Value value;
   uint32_t bank_index = 0;  // index into ints/doubles; byte offset into chars
+  int placeholder = -1;     // `?` ordinal when user-supplied; -1 for literals
 };
 
 /// The ordered parameter table built by plan::ParameterizePlan. Entries are
@@ -160,7 +161,14 @@ struct ParamTable {
   uint32_t num_doubles = 0;     // double bank width
   uint32_t num_char_bytes = 0;  // concatenated CHAR payload bytes
 
+  /// Placeholder ordinal -> index into `entries` (filled by ParameterizePlan
+  /// from BoundQuery::num_placeholders). -1 marks a placeholder the walk
+  /// never reached — the engine rejects such plans at Prepare time, since
+  /// generated code would otherwise read no value for it.
+  std::vector<int> placeholder_entries;
+
   bool empty() const { return entries.empty(); }
+  size_t num_placeholders() const { return placeholder_entries.size(); }
 };
 
 /// Physical property: the stream is globally sorted on these fields (asc).

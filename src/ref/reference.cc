@@ -353,6 +353,10 @@ Result<std::vector<Row>> Execute(const sql::BoundQuery& query) {
 Result<std::vector<Row>> ExecuteSql(const std::string& sql,
                                     const Catalog& catalog) {
   HQ_ASSIGN_OR_RETURN(auto bound, sql::ParseAndBind(sql, catalog));
+  if (bound->num_placeholders > 0) {
+    return Status::BindError(
+        "the reference executor does not support ? placeholders");
+  }
   return Execute(*bound);
 }
 

@@ -13,7 +13,7 @@ namespace hique::sql {
 /// paper's prototype (§IV): conjunctive queries with equi-joins, arbitrary
 /// groupings and sort orders; no nested queries, no statistical aggregates.
 enum class ExprKind { kColumnRef, kIntLit, kFloatLit, kStringLit, kDateLit,
-                      kBinary, kAggregate, kStar };
+                      kBinary, kAggregate, kStar, kPlaceholder };
 
 enum class BinaryOp { kAdd, kSub, kMul, kDiv, kEq, kNe, kLt, kLe, kGt, kGe,
                       kAnd };
@@ -44,6 +44,11 @@ struct Expr {
   // kAggregate: agg(arg) or COUNT(*)
   ParseAggFunc agg = ParseAggFunc::kCount;
   ExprPtr arg;  // null for COUNT(*)
+
+  // kPlaceholder: 0-based ordinal of this `?` in lexical query order. The
+  // binder infers its type from the comparison/arithmetic context and the
+  // engine binds a value per execution (prepared statements).
+  int placeholder = -1;
 
   static ExprPtr Column(std::string qualifier, std::string column) {
     auto e = std::make_unique<Expr>();
@@ -91,6 +96,12 @@ struct Expr {
     e->arg = std::move(arg);
     return e;
   }
+  static ExprPtr Placeholder(int ordinal) {
+    auto e = std::make_unique<Expr>();
+    e->kind = ExprKind::kPlaceholder;
+    e->placeholder = ordinal;
+    return e;
+  }
 };
 
 struct SelectItem {
@@ -117,6 +128,7 @@ struct SelectStmt {
   std::vector<ExprPtr> group_by;
   std::vector<OrderItem> order_by;
   int64_t limit = -1;
+  int num_placeholders = 0;  // `?` count, in lexical order
 };
 
 }  // namespace hique::sql

@@ -40,6 +40,56 @@ const char* AggFuncName(AggFunc f) {
   return "?";
 }
 
+Result<Value> CoerceValueToType(const Value& lit, Type target) {
+  switch (target.id) {
+    case TypeId::kInt32:
+      if (lit.type_id() == TypeId::kInt64 || lit.type_id() == TypeId::kInt32) {
+        return Value::Int32(static_cast<int32_t>(lit.AsInt64()));
+      }
+      break;
+    case TypeId::kInt64:
+      if (lit.type_id() == TypeId::kInt64 || lit.type_id() == TypeId::kInt32)
+        return Value::Int64(lit.AsInt64());
+      break;
+    case TypeId::kDouble:
+      if (lit.type().IsNumeric()) return Value::Double(lit.AsDouble());
+      break;
+    case TypeId::kDate: {
+      if (lit.type_id() == TypeId::kDate) return lit;
+      if (lit.type_id() == TypeId::kChar) {
+        int y, m, d;
+        if (std::sscanf(lit.AsString().c_str(), "%d-%d-%d", &y, &m, &d) == 3) {
+          return Value::Date(DateToDays(y, m, d));
+        }
+      }
+      break;
+    }
+    case TypeId::kChar:
+      if (lit.type_id() == TypeId::kChar) {
+        return Value::Char(lit.ToString(), target.length);
+      }
+      break;
+  }
+  return Status::BindError("cannot compare " + target.ToString() +
+                           " column with literal " + lit.ToString());
+}
+
+Value ZeroValueOfType(Type target) {
+  switch (target.id) {
+    case TypeId::kInt32:
+      return Value::Int32(0);
+    case TypeId::kInt64:
+      return Value::Int64(0);
+    case TypeId::kDouble:
+      return Value::Double(0);
+    case TypeId::kDate:
+      return Value::Date(0);
+    case TypeId::kChar:
+      return Value::Char("", target.length);
+  }
+  return Value::Int64(0);
+}
+
 namespace {
 
 CmpOp BinaryToCmp(BinaryOp op) {
@@ -90,6 +140,7 @@ class Binder {
     HQ_RETURN_IF_ERROR(BindSelectList());
     HQ_RETURN_IF_ERROR(BindOrderBy());
     query_->limit = stmt_.limit;
+    query_->num_placeholders = stmt_.num_placeholders;
     return std::move(query_);
   }
 
@@ -179,8 +230,30 @@ class Binder {
             return Status::BindError(
                 "comparison not allowed in scalar expression");
         }
-        HQ_ASSIGN_OR_RETURN(ScalarExprPtr l, BindScalar(*e.left));
-        HQ_ASSIGN_OR_RETURN(ScalarExprPtr r, BindScalar(*e.right));
+        bool left_ph = e.left->kind == ExprKind::kPlaceholder;
+        bool right_ph = e.right->kind == ExprKind::kPlaceholder;
+        ScalarExprPtr l, r;
+        if (left_ph && right_ph) {
+          return Status::BindError(
+              "cannot infer placeholder types: both operands of an "
+              "arithmetic expression are placeholders");
+        }
+        if (left_ph || right_ph) {
+          // `expr op ?`: the placeholder takes its sibling operand's type.
+          HQ_ASSIGN_OR_RETURN(ScalarExprPtr typed,
+                              BindScalar(left_ph ? *e.right : *e.left));
+          if (!typed->type.IsNumeric()) {
+            return Status::BindError(
+                "placeholder arithmetic requires a numeric sibling operand");
+          }
+          ScalarExprPtr ph = ScalarExpr::Literal(ZeroValueOfType(typed->type));
+          ph->placeholder = (left_ph ? e.left : e.right)->placeholder;
+          l = left_ph ? std::move(ph) : std::move(typed);
+          r = left_ph ? std::move(typed) : std::move(ph);
+        } else {
+          HQ_ASSIGN_OR_RETURN(l, BindScalar(*e.left));
+          HQ_ASSIGN_OR_RETURN(r, BindScalar(*e.right));
+        }
         if (!l->type.IsNumeric() || !r->type.IsNumeric()) {
           return Status::BindError("arithmetic requires numeric operands");
         }
@@ -204,45 +277,12 @@ class Binder {
         return Status::BindError("aggregate not allowed here");
       case ExprKind::kStar:
         return Status::BindError("* not allowed here");
+      case ExprKind::kPlaceholder:
+        return Status::BindError(
+            "placeholder has no type here: use it in a comparison against a "
+            "column or in arithmetic with a typed operand");
     }
     return Status::BindError("unsupported expression");
-  }
-
-  /// Coerces a literal to a column's type for predicate evaluation.
-  Result<Value> CoerceLiteral(const Value& lit, Type target) {
-    switch (target.id) {
-      case TypeId::kInt32:
-        if (lit.type_id() == TypeId::kInt64 ||
-            lit.type_id() == TypeId::kInt32) {
-          return Value::Int32(static_cast<int32_t>(lit.AsInt64()));
-        }
-        break;
-      case TypeId::kInt64:
-        if (lit.type_id() == TypeId::kInt64 || lit.type_id() == TypeId::kInt32)
-          return Value::Int64(lit.AsInt64());
-        break;
-      case TypeId::kDouble:
-        if (lit.type().IsNumeric()) return Value::Double(lit.AsDouble());
-        break;
-      case TypeId::kDate: {
-        if (lit.type_id() == TypeId::kDate) return lit;
-        if (lit.type_id() == TypeId::kChar) {
-          int y, m, d;
-          if (std::sscanf(lit.AsString().c_str(), "%d-%d-%d", &y, &m, &d) ==
-              3) {
-            return Value::Date(DateToDays(y, m, d));
-          }
-        }
-        break;
-      }
-      case TypeId::kChar:
-        if (lit.type_id() == TypeId::kChar) {
-          return Value::Char(lit.ToString(), target.length);
-        }
-        break;
-    }
-    return Status::BindError("cannot compare " + target.ToString() +
-                             " column with literal " + lit.ToString());
   }
 
   Status BindComparison(const Expr& e) {
@@ -278,6 +318,12 @@ class Binder {
       return Status::OK();
     }
     if (!lhs_col && !rhs_col) {
+      if (lhs.kind == ExprKind::kPlaceholder ||
+          rhs.kind == ExprKind::kPlaceholder) {
+        return Status::BindError(
+            "placeholder must be compared against a column (its type is "
+            "inferred from that column)");
+      }
       return Status::BindError("predicate must reference a column");
     }
     const Expr& col_expr = lhs_col ? lhs : rhs;
@@ -285,17 +331,24 @@ class Binder {
     if (!lhs_col) op = FlipCmp(op);
     HQ_ASSIGN_OR_RETURN(ColRef ref,
                         ResolveColumn(col_expr.qualifier, col_expr.column));
-    HQ_ASSIGN_OR_RETURN(ScalarExprPtr lit, BindScalar(lit_expr));
-    if (lit->kind != ScalarKind::kLiteral) {
-      return Status::BindError(
-          "predicate right-hand side must be a literal or column");
-    }
-    HQ_ASSIGN_OR_RETURN(Value coerced,
-                        CoerceLiteral(lit->literal, ColumnType(ref)));
     Filter f;
     f.column = ref;
     f.op = op;
-    f.literal = std::move(coerced);
+    if (lit_expr.kind == ExprKind::kPlaceholder) {
+      // `col op ?`: the placeholder takes the column's type; the zero value
+      // stands in until Execute binds a real one through the ParamTable slot.
+      f.literal = ZeroValueOfType(ColumnType(ref));
+      f.placeholder = lit_expr.placeholder;
+    } else {
+      HQ_ASSIGN_OR_RETURN(ScalarExprPtr lit, BindScalar(lit_expr));
+      if (lit->kind != ScalarKind::kLiteral) {
+        return Status::BindError(
+            "predicate right-hand side must be a literal or column");
+      }
+      HQ_ASSIGN_OR_RETURN(Value coerced,
+                          CoerceValueToType(lit->literal, ColumnType(ref)));
+      f.literal = std::move(coerced);
+    }
     query_->filters.push_back(std::move(f));
     return Status::OK();
   }

@@ -20,6 +20,16 @@ Result<std::unique_ptr<BoundQuery>> Bind(const SelectStmt& stmt,
 Result<std::unique_ptr<BoundQuery>> ParseAndBind(const std::string& sql,
                                                  const Catalog& catalog);
 
+/// Coerces a literal/user value to `target` using the binder's predicate
+/// coercion rules (int widths, numeric -> double, 'YYYY-MM-DD' -> date, CHAR
+/// re-padded to the column width). Also used by the engine to type-check
+/// placeholder values handed to HiqueEngine::Execute.
+Result<Value> CoerceValueToType(const Value& value, Type target);
+
+/// A zero value of `target` (0 / 0.0 / epoch date / all-spaces CHAR): what
+/// the binder stores for a `?` placeholder until execution binds a real one.
+Value ZeroValueOfType(Type target);
+
 }  // namespace hique::sql
 
 #endif  // HIQUE_SQL_BINDER_H_

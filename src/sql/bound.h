@@ -51,6 +51,13 @@ struct ScalarExpr {
   /// compiled query serves every literal binding.
   int param = -1;
 
+  /// `?` placeholder ordinal when this literal stands for a user-supplied
+  /// value (prepared statements); -1 for ordinary literals. The binder infers
+  /// the type from the arithmetic context and stores a zero value of that
+  /// type in `literal`; ParameterizePlan must hoist placeholder literals even
+  /// when constant hoisting is off, since they have no value to inline.
+  int placeholder = -1;
+
   static ScalarExprPtr Column(ColRef ref, Type t) {
     auto e = std::make_unique<ScalarExpr>();
     e->kind = ScalarKind::kColumn;
@@ -84,6 +91,7 @@ struct ScalarExpr {
     e->literal = literal;
     e->op = op;
     e->param = param;
+    e->placeholder = placeholder;
     if (left) e->left = left->Clone();
     if (right) e->right = right->Clone();
     return e;
@@ -108,6 +116,11 @@ struct Filter {
 
   /// Hoisted-constant slot for `literal` (see ScalarExpr::param); -1 inlines.
   int param = -1;
+
+  /// `?` placeholder ordinal (see ScalarExpr::placeholder); -1 for literals.
+  /// The binder types placeholders from the filtered column and stores a zero
+  /// value of that type in `literal`.
+  int placeholder = -1;
 };
 
 /// Equi-join predicate between two different FROM tables.
@@ -151,6 +164,11 @@ struct BoundQuery {
   std::vector<OutputCol> outputs;
   std::vector<OrderSpec> order_by;
   int64_t limit = -1;
+
+  /// Number of `?` placeholders bound into filters / scalar expressions.
+  /// Queries with placeholders can only run through Prepare/Execute; the
+  /// interpreting engines (reference, Volcano, column) reject them.
+  int num_placeholders = 0;
 
   bool HasAggregation() const { return !aggs.empty() || !group_by.empty(); }
 

@@ -109,7 +109,7 @@ Result<std::vector<Token>> Tokenize(const std::string& input) {
         continue;
       }
     }
-    if (std::string("(),*+-/=<>.;").find(c) != std::string::npos) {
+    if (std::string("(),*+-/=<>.;?").find(c) != std::string::npos) {
       tok.type = TokenType::kSymbol;
       tok.text = std::string(1, c);
       tokens.push_back(std::move(tok));

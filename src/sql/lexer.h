@@ -29,7 +29,7 @@ struct Token {
 
 /// Tokenizes a SQL string. Keywords recognised: SELECT FROM WHERE GROUP BY
 /// ORDER ASC DESC LIMIT AS AND SUM COUNT AVG MIN MAX DATE. Symbols:
-/// , ( ) * + - / = <> != < <= > >= . ;
+/// , ( ) * + - / = <> != < <= > >= . ; ? (positional placeholder)
 Result<std::vector<Token>> Tokenize(const std::string& input);
 
 }  // namespace hique::sql

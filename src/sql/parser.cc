@@ -87,6 +87,7 @@ class Parser {
       return Status::ParseError("unexpected trailing input: '" + Peek().text +
                                 "'");
     }
+    stmt->num_placeholders = num_placeholders_;
     return stmt;
   }
 
@@ -257,6 +258,12 @@ class Parser {
         return Expr::Column("", std::move(first));
       }
       case TokenType::kSymbol: {
+        if (tok.text == "?") {
+          // Positional placeholder: ordinals are assigned in lexical order,
+          // matching the value list handed to HiqueEngine::Execute.
+          Advance();
+          return Expr::Placeholder(num_placeholders_++);
+        }
         if (tok.text == "(") {
           Advance();
           HQ_ASSIGN_OR_RETURN(ExprPtr inner, ParseAdditive());
@@ -284,6 +291,7 @@ class Parser {
 
   std::vector<Token> tokens_;
   size_t pos_ = 0;
+  int num_placeholders_ = 0;
 };
 
 }  // namespace

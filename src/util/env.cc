@@ -35,6 +35,18 @@ Status RemoveTree(const std::string& path) {
   return Status::OK();
 }
 
+Result<std::vector<std::string>> ListDir(const std::string& path) {
+  std::vector<std::string> names;
+  std::error_code ec;
+  if (!fs::exists(path, ec)) return names;
+  for (fs::directory_iterator it(path, ec), end; !ec && it != end;
+       it.increment(ec)) {
+    if (it->is_regular_file(ec)) names.push_back(it->path().filename());
+  }
+  if (ec) return Status::IoError("ls " + path + ": " + ec.message());
+  return names;
+}
+
 Status WriteFile(const std::string& path, const std::string& contents) {
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
   if (!out.good()) return Status::IoError("cannot open " + path);

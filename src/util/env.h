@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "util/status.h"
 
@@ -31,6 +32,10 @@ Result<std::string> ReadFile(const std::string& path);
 Result<int64_t> FileSize(const std::string& path);
 
 bool FileExists(const std::string& path);
+
+/// Names of the regular files directly inside `path` (no "."/".."). An
+/// empty result for a missing directory.
+Result<std::vector<std::string>> ListDir(const std::string& path);
 
 /// A process-unique temporary directory under /tmp, created on first use and
 /// removed at process exit.

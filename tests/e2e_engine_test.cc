@@ -108,10 +108,11 @@ TEST_F(E2ETest, CompiledQueryCacheHit) {
   std::string sql = "select count(*) from r";
   auto first = engine_->Query(sql);
   ASSERT_TRUE(first.ok()) << first.status().ToString();
-  size_t cached = engine_->CompiledCacheSize();
+  uint64_t cached = first.value().cache_stats.entries;
   auto second = engine_->Query(sql);
   ASSERT_TRUE(second.ok());
-  EXPECT_EQ(engine_->CompiledCacheSize(), cached);
+  EXPECT_EQ(second.value().cache_stats.entries, cached);
+  EXPECT_GE(second.value().cache_stats.hits, 1u);
   EXPECT_EQ(first.value().Rows()[0][0].AsInt64(),
             second.value().Rows()[0][0].AsInt64());
 }

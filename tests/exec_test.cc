@@ -74,12 +74,15 @@ TEST(EngineTest, CompiledCacheReuse) {
   std::string sql = "select t_k, count(*) from t group by t_k";
   auto first = engine.Query(sql);
   ASSERT_TRUE(first.ok());
-  EXPECT_EQ(engine.CompiledCacheSize(), 1u);
+  EXPECT_EQ(first.value().cache_stats.entries, 1u);
+  EXPECT_EQ(first.value().cache_stats.misses, 1u);
   EXPECT_FALSE(first.value().cache_hit);
   EXPECT_GT(first.value().timings.compile_ms, 0.0);
   auto second = engine.Query(sql);
   ASSERT_TRUE(second.ok());
-  EXPECT_EQ(engine.CompiledCacheSize(), 1u);
+  CacheStats stats = second.value().cache_stats;
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_EQ(stats.hits, 1u);
   // A cache hit pays no generation or compilation.
   EXPECT_TRUE(second.value().cache_hit);
   EXPECT_EQ(second.value().timings.generate_ms, 0.0);
@@ -126,6 +129,49 @@ TEST(EngineTest, MapOverflowReplansWithHybrid) {
   Status repeat_cmp = ref::CompareRowSets(expected.value(), repeat_rows,
                                           false);
   EXPECT_TRUE(repeat_cmp.ok()) << repeat_cmp.ToString();
+}
+
+TEST(EngineTest, UncachedArtefactsDeletedAfterExecution) {
+  Catalog catalog;
+  testing::MakeIntTable(&catalog, "t", 100, 5, 9);
+  std::string gen_dir = env::ProcessTempDir() + "/gen_cleanup";
+  {
+    EngineOptions opts;
+    opts.gen_dir = gen_dir;
+    HiqueEngine engine(&catalog, opts);
+    // QueryWithPlanner bypasses the cache (benchmark sweeps): its .cc/.so
+    // must not pile up in the gen dir run after run.
+    ASSERT_TRUE(
+        engine.QueryWithPlanner("select count(*) from t", {}).ok());
+    auto files = env::ListDir(gen_dir);
+    ASSERT_TRUE(files.ok());
+    EXPECT_TRUE(files.value().empty())
+        << files.value().size() << " artefacts left behind";
+    // Cached artefacts live exactly as long as a library holds them.
+    ASSERT_TRUE(engine.Query("select count(*) from t").ok());
+    engine.WaitForTierUpgrades();
+  }
+  // Engine destroyed: every library unloaded, gen dir empty again.
+  auto files = env::ListDir(gen_dir);
+  ASSERT_TRUE(files.ok());
+  EXPECT_TRUE(files.value().empty());
+}
+
+TEST(EngineTest, KeepSourceRetainsArtefacts) {
+  Catalog catalog;
+  testing::MakeIntTable(&catalog, "t", 100, 5, 10);
+  std::string gen_dir = env::ProcessTempDir() + "/gen_keep";
+  {
+    EngineOptions opts;
+    opts.gen_dir = gen_dir;
+    opts.keep_source = true;
+    HiqueEngine engine(&catalog, opts);
+    ASSERT_TRUE(
+        engine.QueryWithPlanner("select count(*) from t", {}).ok());
+  }
+  auto files = env::ListDir(gen_dir);
+  ASSERT_TRUE(files.ok());
+  EXPECT_FALSE(files.value().empty());
 }
 
 TEST(EngineTest, KeepSourceExposesGeneratedCode) {

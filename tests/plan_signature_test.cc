@@ -104,7 +104,7 @@ TEST_F(ParamCacheTest, LiteralVariantsCompileExactlyOnce) {
         "select t_k from t where t_v < " + std::to_string(v);
     ExpectMatchesReference(sql);
   }
-  EXPECT_EQ(engine_->CompiledCacheSize(), 1u);
+  EXPECT_EQ(engine_->CacheStats().entries, 1u);
 
   // First execution compiled; every variant after it hit the cache.
   auto again = engine_->Query("select t_k from t where t_v < 123");
@@ -138,7 +138,7 @@ TEST_F(ParamCacheTest, LiteralVariantsAgreeWithIteratorEngine) {
     Status cmp = ref::CompareRowSets(expected, actual, false);
     EXPECT_TRUE(cmp.ok()) << sql << ": " << cmp.ToString();
   }
-  EXPECT_EQ(engine_->CompiledCacheSize(), 1u);
+  EXPECT_EQ(engine_->CacheStats().entries, 1u);
 }
 
 TEST_F(ParamCacheTest, CharLiteralVariantsShareOneLibrary) {
@@ -146,14 +146,14 @@ TEST_F(ParamCacheTest, CharLiteralVariantsShareOneLibrary) {
     ExpectMatchesReference("select t_k from t where t_pad = '" +
                            std::string(pad) + "'");
   }
-  EXPECT_EQ(engine_->CompiledCacheSize(), 1u);
+  EXPECT_EQ(engine_->CacheStats().entries, 1u);
 }
 
 TEST_F(ParamCacheTest, StructurallyDifferentQueriesMiss) {
   ASSERT_TRUE(engine_->Query("select t_k from t where t_v < 100").ok());
   ASSERT_TRUE(engine_->Query("select t_k from t where t_v > 100").ok());
   ASSERT_TRUE(engine_->Query("select count(*) from t").ok());
-  EXPECT_EQ(engine_->CompiledCacheSize(), 3u);
+  EXPECT_EQ(engine_->CacheStats().entries, 3u);
 }
 
 TEST_F(ParamCacheTest, LruEvictionRespectsBound) {
@@ -165,18 +165,18 @@ TEST_F(ParamCacheTest, LruEvictionRespectsBound) {
   const std::string q3 = "select t_v from t where t_k < 3";
   ASSERT_TRUE(engine.Query(q1).ok());
   ASSERT_TRUE(engine.Query(q2).ok());
-  EXPECT_EQ(engine.CompiledCacheSize(), 2u);
+  EXPECT_EQ(engine.CacheStats().entries, 2u);
 
   // q3 evicts q1 (the coldest); q2 stays hot.
   ASSERT_TRUE(engine.Query(q3).ok());
-  EXPECT_EQ(engine.CompiledCacheSize(), 2u);
+  EXPECT_EQ(engine.CacheStats().entries, 2u);
   auto q2_again = engine.Query(q2);
   ASSERT_TRUE(q2_again.ok());
   EXPECT_TRUE(q2_again.value().cache_hit);
   auto q1_again = engine.Query(q1);
   ASSERT_TRUE(q1_again.ok());
   EXPECT_FALSE(q1_again.value().cache_hit);  // was evicted, recompiled
-  EXPECT_EQ(engine.CompiledCacheSize(), 2u);
+  EXPECT_EQ(engine.CacheStats().entries, 2u);
 }
 
 TEST_F(ParamCacheTest, HoistingDisabledRestoresPerLiteralCaching) {
@@ -186,7 +186,7 @@ TEST_F(ParamCacheTest, HoistingDisabledRestoresPerLiteralCaching) {
   ASSERT_TRUE(engine.Query("select t_k from t where t_v < 100").ok());
   ASSERT_TRUE(engine.Query("select t_k from t where t_v < 200").ok());
   // Inlined literals appear in the signature: per-literal specialization.
-  EXPECT_EQ(engine.CompiledCacheSize(), 2u);
+  EXPECT_EQ(engine.CacheStats().entries, 2u);
 
   // Inlined doubles must key at full precision: values that round to the
   // same display string are still distinct queries.
@@ -196,7 +196,7 @@ TEST_F(ParamCacheTest, HoistingDisabledRestoresPerLiteralCaching) {
   Status b = testing::CheckAgainstReference(
       &engine, "select t_k from t where t_d < 250.0041");
   EXPECT_TRUE(b.ok()) << b.ToString();
-  EXPECT_EQ(engine.CompiledCacheSize(), 4u);
+  EXPECT_EQ(engine.CacheStats().entries, 4u);
 }
 
 }  // namespace

@@ -87,6 +87,16 @@ TEST(ParserTest, ArithmeticPrecedence) {
   EXPECT_EQ(e.right->op, BinaryOp::kMul); // * binds tighter
 }
 
+TEST(ParserTest, PlaceholderOrdinals) {
+  auto stmt = Parse("select a * ? from t where b < ? and c = ?");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  const SelectStmt& s = *stmt.value();
+  EXPECT_EQ(s.num_placeholders, 3);
+  ASSERT_EQ(s.items.size(), 1u);
+  EXPECT_EQ(s.items[0].expr->right->kind, ExprKind::kPlaceholder);
+  EXPECT_EQ(s.items[0].expr->right->placeholder, 0);  // lexical order
+}
+
 TEST(ParserTest, Errors) {
   EXPECT_FALSE(Parse("select from t").ok());
   EXPECT_FALSE(Parse("select a").ok());                 // missing FROM
@@ -186,6 +196,41 @@ TEST_F(BinderTest, Errors) {
   EXPECT_FALSE(ParseAndBind(
                    "select r_id from r order by r_val", catalog_)
                    .ok());
+}
+
+TEST_F(BinderTest, PlaceholderTypesInferredFromContext) {
+  auto q = ParseAndBind(
+      "select r_id, r_val * ? from r where r_val < ? and r_name = ? "
+      "and r_day >= ?",
+      catalog_);
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q.value()->num_placeholders, 4);
+  // Filter placeholders take the compared column's type.
+  ASSERT_EQ(q.value()->filters.size(), 3u);
+  EXPECT_EQ(q.value()->filters[0].placeholder, 1);
+  EXPECT_EQ(q.value()->filters[0].literal.type_id(), TypeId::kDouble);
+  EXPECT_EQ(q.value()->filters[1].placeholder, 2);
+  EXPECT_EQ(q.value()->filters[1].literal.type().length, 8);  // CHAR(8)
+  EXPECT_EQ(q.value()->filters[2].placeholder, 3);
+  EXPECT_EQ(q.value()->filters[2].literal.type_id(), TypeId::kDate);
+  // The arithmetic placeholder takes its sibling operand's type.
+  const ScalarExpr* expr = q.value()->outputs[1].scalar.get();
+  ASSERT_NE(expr, nullptr);
+  EXPECT_EQ(expr->right->placeholder, 0);
+  EXPECT_EQ(expr->right->type.id, TypeId::kDouble);
+}
+
+TEST_F(BinderTest, PlaceholderErrors) {
+  // No typed context.
+  EXPECT_FALSE(ParseAndBind("select ? from r", catalog_).ok());
+  EXPECT_FALSE(ParseAndBind("select r_id from r where ? < ?", catalog_).ok());
+  EXPECT_FALSE(
+      ParseAndBind("select r_id from r where r_val < ? + ?", catalog_).ok());
+  // GROUP BY / ORDER BY positions are structural, not bindable.
+  EXPECT_FALSE(
+      ParseAndBind("select r_id from r group by ?", catalog_).ok());
+  EXPECT_FALSE(
+      ParseAndBind("select r_id from r order by ?", catalog_).ok());
 }
 
 }  // namespace
