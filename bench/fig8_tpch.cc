@@ -25,9 +25,13 @@ int main(int argc, char** argv) {
   bench::Flags flags(argc, argv);
   double sf = flags.GetDouble("sf", 0.1);
   int repeat = static_cast<int>(flags.GetInt("repeat", 3));
+  // Intra-query parallelism sweep: --threads, HQ_THREADS, default 4.
+  uint32_t threads = HiqueEngine::ClampThreads(
+      flags.GetInt("threads", env::EnvInt("HQ_THREADS", 4)));
 
   std::printf("Fig. 8: TPC-H Q1/Q3/Q10 at SF=%.2f (times in seconds, best "
-              "of %d)\n", sf, repeat);
+              "of %d; HIQUE-x%u = %u threads, speedup vs 1 thread)\n",
+              sf, repeat, threads, threads);
   std::printf("systems: generic iterators (PostgreSQL stand-in), optimized "
               "iterators (System X stand-in),\n"
               "         column engine (MonetDB stand-in), HIQUE generated "
@@ -52,7 +56,12 @@ int main(int argc, char** argv) {
   // Paper-reproduction runs measure the fully specialized per-literal
   // code, not the production parameterized variant.
   eopts.hoist_constants = false;
+  eopts.threads = 1;
   HiqueEngine hique(&catalog, eopts);
+  EngineOptions mopts = eopts;
+  mopts.gen_dir = env::ProcessTempDir() + "/fig8_mt";
+  mopts.threads = threads;
+  HiqueEngine hique_mt(&catalog, mopts);
   iter::VolcanoEngine pg(&catalog, iter::Mode::kGeneric);
   iter::VolcanoEngine sysx(&catalog, iter::Mode::kOptimized);
   col::ColumnEngine monet(&catalog);
@@ -76,9 +85,11 @@ int main(int argc, char** argv) {
 
   bench::ResultPrinter table({"query", "Generic iterators",
                               "Optimized iterators", "Column engine",
-                              "HIQUE", "HIQUE rows"});
+                              "HIQUE", "HIQUE-x" + std::to_string(threads),
+                              "speedup", "HIQUE rows"});
   for (const auto& q : queries) {
-    double t_pg = 1e100, t_sysx = 1e100, t_col = 1e100, t_hq = 1e100;
+    double t_pg = 1e100, t_sysx = 1e100, t_col = 1e100, t_hq = 1e100,
+           t_mt = 1e100;
     int64_t rows = 0;
     for (int r = 0; r < repeat; ++r) {
       {
@@ -118,10 +129,22 @@ int main(int argc, char** argv) {
         t_hq = std::min(t_hq, res.value().exec_stats.execute_seconds);
         rows = res.value().NumRows();
       }
+      {
+        auto res = hique_mt.Query(q.sql);
+        if (!res.ok()) {
+          std::printf("%s hique-mt: %s\n", q.name,
+                      res.status().ToString().c_str());
+          return 1;
+        }
+        t_mt = std::min(t_mt, res.value().exec_stats.execute_seconds);
+      }
     }
+    char speedup[32];
+    std::snprintf(speedup, sizeof(speedup), "%.2fx",
+                  t_mt > 0 ? t_hq / t_mt : 0.0);
     table.AddRow({q.name, bench::Sec(t_pg), bench::Sec(t_sysx),
-                  bench::Sec(t_col), bench::Sec(t_hq),
-                  std::to_string(rows)});
+                  bench::Sec(t_col), bench::Sec(t_hq), bench::Sec(t_mt),
+                  speedup, std::to_string(rows)});
   }
   table.Print();
   return 0;

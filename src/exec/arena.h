@@ -1,6 +1,7 @@
 #ifndef HIQUE_EXEC_ARENA_H_
 #define HIQUE_EXEC_ARENA_H_
 
+#include <atomic>
 #include <cstdint>
 #include <cstdlib>
 #include <vector>
@@ -9,11 +10,18 @@ namespace hique {
 
 /// Bump allocator backing all scratch memory of one query execution
 /// (staging buffers, partitions, directories). Generated code allocates
-/// through the HqQueryCtx callback and never frees; the whole arena is
-/// released when the query finishes.
+/// through the HqQueryCtx/HqWorkerCtx callback and never frees; the whole
+/// arena is released when the query finishes. Parallel executions use one
+/// arena per worker (plus the shared query arena for serial sections), so
+/// allocation inside tasks is contention- and race-free; an optional
+/// shared byte budget caps the query's total scratch across all of them.
 class Arena {
  public:
-  Arena() = default;
+  /// `budget`, when set, is a shared countdown of bytes the query may
+  /// still allocate (decremented atomically by every arena wired to it);
+  /// exhausting it makes Allocate return nullptr, which generated code
+  /// reports as HQ_ERR_OOM.
+  explicit Arena(std::atomic<int64_t>* budget = nullptr) : budget_(budget) {}
   ~Arena() {
     for (void* b : blocks_) std::free(b);
   }
@@ -26,8 +34,16 @@ class Arena {
     bytes = (bytes + 63) & ~uint64_t{63};
     if (current_ == nullptr || used_ + bytes > capacity_) {
       uint64_t block = bytes > kBlockSize ? bytes : kBlockSize;
+      // Charge the budget for the whole block (the bytes actually taken
+      // from the OS), not the request: the cap then bounds real scratch
+      // memory. Allocations served from the current block are prepaid.
+      if (!ChargeBudget(block)) return nullptr;
       void* mem = nullptr;
       if (posix_memalign(&mem, 64, block) != 0 || mem == nullptr) {
+        if (budget_ != nullptr) {
+          budget_->fetch_add(static_cast<int64_t>(block),
+                             std::memory_order_relaxed);
+        }
         return nullptr;
       }
       blocks_.push_back(mem);
@@ -43,14 +59,31 @@ class Arena {
 
   uint64_t total_allocated() const { return total_; }
 
-  /// C callback adapter for HqQueryCtx::alloc.
+  /// C callback adapter for HqQueryCtx::alloc / HqWorkerCtx::alloc.
   static void* AllocCallback(void* arena, uint64_t bytes) {
     return static_cast<Arena*>(arena)->Allocate(bytes);
   }
 
  private:
+  /// Debits `bytes` from the shared budget iff it stays non-negative
+  /// (CAS loop: a failing oversized request can never transiently drive
+  /// the counter negative and spuriously OOM a concurrent fitting one).
+  bool ChargeBudget(uint64_t bytes) {
+    if (budget_ == nullptr) return true;
+    int64_t cur = budget_->load(std::memory_order_relaxed);
+    for (;;) {
+      int64_t next = cur - static_cast<int64_t>(bytes);
+      if (next < 0) return false;
+      if (budget_->compare_exchange_weak(cur, next,
+                                         std::memory_order_relaxed)) {
+        return true;
+      }
+    }
+  }
+
   static constexpr uint64_t kBlockSize = 4ull << 20;
   std::vector<void*> blocks_;
+  std::atomic<int64_t>* budget_ = nullptr;
   uint8_t* current_ = nullptr;
   uint64_t capacity_ = 0;
   uint64_t used_ = 0;

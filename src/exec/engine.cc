@@ -101,6 +101,19 @@ HiqueEngine::HiqueEngine(Catalog* catalog, EngineOptions options)
   if (options_.gen_dir.empty()) {
     options_.gen_dir = env::ProcessTempDir() + "/gen";
   }
+  threads_ = ClampThreads(options_.threads != 0
+                              ? static_cast<int64_t>(options_.threads)
+                              : env::EnvInt("HQ_THREADS", 1));
+  if (threads_ > 1) {
+    worker_pool_ = std::make_unique<exec::WorkerPool>(threads_ - 1);
+  }
+}
+
+exec::ParallelRuntime HiqueEngine::ParallelFor() const {
+  exec::ParallelRuntime par;
+  par.pool = worker_pool_.get();
+  par.arena_limit_bytes = options_.arena_limit_bytes;
+  return par;
 }
 
 HiqueEngine::~HiqueEngine() {
@@ -378,8 +391,9 @@ Result<QueryResult> HiqueEngine::Run(const std::string& sql,
     exec::BindParams(plan->params, &bound_params);
 
     timer.Restart();
-    auto table = exec::ExecuteCompiled(*plan, library->entry(),
-                                       &bound_params.abi, &result.exec_stats);
+    auto table =
+        exec::ExecuteCompiled(*plan, library->entry(), &bound_params.abi,
+                              &result.exec_stats, ParallelFor());
     if (!table.ok()) {
       if (exec::IsMapOverflow(table.status()) && !force_hybrid_agg) {
         // Statistics were stale: directories overflowed. Re-plan with hybrid
@@ -513,8 +527,10 @@ Result<QueryResult> HiqueEngine::Execute(const PreparedStatement& stmt,
         exec::BindParamValues(state->plan->params, values, &bound_params));
 
     WallTimer timer;
-    auto table = exec::ExecuteCompiled(*state->plan, library->entry(),
-                                       &bound_params.abi, &result.exec_stats);
+    auto table =
+        exec::ExecuteCompiled(*state->plan, library->entry(),
+                              &bound_params.abi, &result.exec_stats,
+                              ParallelFor());
     if (!table.ok()) {
       if (exec::IsMapOverflow(table.status()) && attempt == 0) {
         // Stale statistics: lazily prepare the hybrid-aggregation fallback

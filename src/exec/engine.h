@@ -93,6 +93,18 @@ struct EngineOptions {
   bool tiered_compilation = true;
   int tier0_opt_level = 0;
   std::string gen_dir;           // defaults to a process temp dir
+  // Intra-query parallelism: partition-parallel staging/joins/aggregation
+  // over a shared exec::WorkerPool. 0 resolves to the HQ_THREADS
+  // environment variable, defaulting to 1 (serial). The generated code is
+  // identical at every thread count (the knob is pure runtime scheduling),
+  // so one cached library serves all settings and parallel results are
+  // bit-identical to serial ones.
+  uint32_t threads = 0;
+  // Per-execution scratch-memory budget shared by the query arena and all
+  // worker arenas (0 = unlimited). Exhaustion fails the query with a clean
+  // OOM error; in a parallel run the failing worker cancels the remaining
+  // tasks at the next barrier.
+  uint64_t arena_limit_bytes = 0;
 };
 
 /// A prepared statement: the fully planned, compiled form of one SQL string
@@ -129,8 +141,9 @@ class PreparedStatement {
 /// concurrently. The cache holds shared_ptr<CompiledLibrary> entries, so an
 /// eviction or tier swap never unloads a library mid-execution; concurrent
 /// misses on one signature may compile twice (both results are valid, the
-/// later insert wins). Base tables must not be mutated during queries
-/// (file-backed tables additionally share a non-thread-safe BufferManager).
+/// later insert wins). Base tables must not be mutated during queries;
+/// file-backed tables share a mutex-protected BufferManager, so they can
+/// be pinned from concurrent and parallel executions too.
 class HiqueEngine {
  public:
   explicit HiqueEngine(Catalog* catalog, EngineOptions options = {});
@@ -140,6 +153,19 @@ class HiqueEngine {
 
   Catalog* catalog() const { return catalog_; }
   const EngineOptions& options() const { return options_; }
+
+  /// Resolved intra-query parallelism (EngineOptions::threads or
+  /// HQ_THREADS); 1 means serial execution.
+  uint32_t threads() const { return threads_; }
+
+  /// Clamps a requested worker count to the supported range [1, 256] —
+  /// the constructor applies this to EngineOptions::threads / HQ_THREADS,
+  /// and benchmarks use it so their column labels match the engine.
+  static uint32_t ClampThreads(int64_t threads) {
+    if (threads < 1) return 1;
+    if (threads > 256) return 256;
+    return static_cast<uint32_t>(threads);
+  }
 
   /// Evaluates one SELECT statement end to end. SQL containing `?`
   /// placeholders must go through Prepare/Execute instead.
@@ -233,8 +259,16 @@ class HiqueEngine {
   void TierWorkerLoop();
   hique::CacheStats StatsSnapshotLocked() const;
 
+  /// Parallelism wiring handed to every execution of this engine.
+  exec::ParallelRuntime ParallelFor() const;
+
   Catalog* catalog_;
   EngineOptions options_;
+  uint32_t threads_ = 1;
+  // Shared across all concurrent executions; created once at construction
+  // when threads_ > 1 (pool size threads_ - 1: the query thread itself is
+  // the last executor slot of every ParallelFor barrier).
+  std::unique_ptr<exec::WorkerPool> worker_pool_;
 
   mutable std::mutex mu_;
   std::unordered_map<std::string, CacheEntry> cache_;

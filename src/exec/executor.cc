@@ -2,8 +2,10 @@
 
 #include <dlfcn.h>
 
+#include <atomic>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <vector>
 
 #include "codegen/runtime_abi.h"
@@ -32,7 +34,10 @@ struct ResultSink {
       return nullptr;
     }
     Page* page = static_cast<Page*>(mem);
-    page->Reset();
+    // Zero the whole page, not just the header: record padding bytes then
+    // never carry heap garbage, so result pages are byte-deterministic
+    // (parallel runs compare bit-identical to serial ones).
+    std::memset(page, 0, kPageSize);
     sink->pages.push_back(page);
     return reinterpret_cast<HqPage*>(page);
   }
@@ -53,6 +58,59 @@ class DlHandle {
 
  private:
   void* handle_;
+};
+
+/// The engine side of the hq_parallel_for service: dispatches tasks over
+/// the shared WorkerPool (or serially on worker slot 0), then folds the
+/// per-worker counters into the query context and promotes the first
+/// worker error — the "counter blocks summed after the barrier" contract
+/// that keeps metrics race-free by design.
+struct ParallelService {
+  WorkerPool* pool = nullptr;
+  HqWorkerCtx* workers = nullptr;
+  uint32_t num_workers = 1;
+
+  static int32_t Invoke(void* self, HqQueryCtx* ctx, uint32_t num_tasks,
+                        HqTaskFn fn, void* arg) {
+    auto* s = static_cast<ParallelService*>(self);
+    if (num_tasks == 0) return ctx->error;
+    bool completed = true;
+    if (s->pool == nullptr || s->num_workers <= 1 || num_tasks == 1) {
+      HqWorkerCtx* w = &s->workers[0];
+      for (uint32_t t = 0; t < num_tasks; ++t) {
+        if (fn(ctx, w, t, arg) != 0) {
+          completed = false;
+          break;
+        }
+      }
+    } else {
+      completed = s->pool->ParallelFor(
+          num_tasks, [&](uint32_t slot, uint32_t task) -> int32_t {
+            // One context per executor slot — aliasing two threads onto
+            // one arena would be silent corruption, so fail loudly.
+            HQ_CHECK_MSG(slot < s->num_workers,
+                         "executor slot exceeds worker contexts");
+            return fn(ctx, &s->workers[slot], task, arg);
+          });
+    }
+    int32_t err = HQ_OK;
+    for (uint32_t i = 0; i < s->num_workers; ++i) {
+      HqWorkerCtx* w = &s->workers[i];
+      ctx->pages_touched += w->pages_touched;
+      ctx->tuples_emitted += w->tuples_emitted;
+      ctx->helper_calls += w->helper_calls;
+      w->pages_touched = 0;
+      w->tuples_emitted = 0;
+      w->helper_calls = 0;
+      if (err == HQ_OK && w->error != HQ_OK) err = w->error;
+    }
+    // Fail-safe: a cancelled job must surface as an error even if the
+    // failing task forgot to record a cause in its worker context —
+    // otherwise the caller would read partially-initialized task state.
+    if (err == HQ_OK && !completed) err = HQ_ERR_CANCELLED;
+    if (err != HQ_OK && ctx->error == HQ_OK) ctx->error = err;
+    return ctx->error;
+  }
 };
 
 }  // namespace
@@ -136,15 +194,16 @@ Status BindParamValues(const plan::ParamTable& params,
 Result<std::unique_ptr<Table>> ExecuteCompiled(const plan::PhysicalPlan& plan,
                                                HqEntryFn entry,
                                                const HqParams* params,
-                                               ExecStats* stats) {
+                                               ExecStats* stats,
+                                               const ParallelRuntime& par) {
   return ExecuteEntryOnTables(plan.query->tables, plan.output_schema, entry,
-                              params, stats);
+                              params, stats, par);
 }
 
 Result<std::unique_ptr<Table>> ExecuteLibraryOnTables(
     const std::vector<Table*>& tables, const Schema& output_schema,
     const std::string& library_path, const std::string& entry_symbol,
-    const HqParams* params, ExecStats* stats) {
+    const HqParams* params, ExecStats* stats, const ParallelRuntime& par) {
   DlHandle handle(dlopen(library_path.c_str(), RTLD_NOW | RTLD_LOCAL));
   if (handle.get() == nullptr) {
     return Status::ExecError(std::string("dlopen failed: ") + dlerror());
@@ -154,12 +213,14 @@ Result<std::unique_ptr<Table>> ExecuteLibraryOnTables(
   if (entry == nullptr) {
     return Status::ExecError("entry symbol not found: " + entry_symbol);
   }
-  return ExecuteEntryOnTables(tables, output_schema, entry, params, stats);
+  return ExecuteEntryOnTables(tables, output_schema, entry, params, stats,
+                              par);
 }
 
 Result<std::unique_ptr<Table>> ExecuteEntryOnTables(
     const std::vector<Table*>& tables, const Schema& output_schema,
-    HqEntryFn entry, const HqParams* params, ExecStats* stats) {
+    HqEntryFn entry, const HqParams* params, ExecStats* stats,
+    const ParallelRuntime& par) {
   // Pin every base table in memory (main-memory execution, paper §VI).
   std::vector<PinnedPages> pinned(tables.size());
   std::vector<std::vector<uint8_t*>> page_ptrs(tables.size());
@@ -177,7 +238,31 @@ Result<std::unique_ptr<Table>> ExecuteEntryOnTables(
     refs[t].tuple_count = tables[t]->NumTuples();
   }
 
-  Arena arena;
+  // Scratch memory: one shared arena for serial sections plus one arena per
+  // executor slot for parallel tasks, all drawing on one optional budget.
+  std::atomic<int64_t> budget{0};
+  std::atomic<int64_t>* budget_ptr = nullptr;
+  if (par.arena_limit_bytes > 0) {
+    budget.store(static_cast<int64_t>(par.arena_limit_bytes));
+    budget_ptr = &budget;
+  }
+  Arena arena(budget_ptr);
+  uint32_t num_workers = par.pool != nullptr ? par.pool->num_executors() : 1;
+  std::vector<std::unique_ptr<Arena>> worker_arenas;
+  std::vector<HqWorkerCtx> workers(num_workers);
+  worker_arenas.reserve(num_workers);
+  for (uint32_t i = 0; i < num_workers; ++i) {
+    worker_arenas.push_back(std::make_unique<Arena>(budget_ptr));
+    std::memset(&workers[i], 0, sizeof(HqWorkerCtx));
+    workers[i].alloc = &Arena::AllocCallback;
+    workers[i].arena = worker_arenas[i].get();
+    workers[i].worker_id = i;
+  }
+  ParallelService par_service;
+  par_service.pool = par.pool;
+  par_service.workers = workers.data();
+  par_service.num_workers = num_workers;
+
   ResultSink sink;
   const Schema& out_schema = output_schema;
 
@@ -193,6 +278,9 @@ Result<std::unique_ptr<Table>> ExecuteEntryOnTables(
   ctx.result_sink = &sink;
   ctx.result_tuple_size = out_schema.TupleSize();
   ctx.result_tuples_per_page = Page::TuplesPerPage(out_schema.TupleSize());
+  ctx.parallel_for = &ParallelService::Invoke;
+  ctx.scheduler = &par_service;
+  ctx.num_workers = num_workers;
 
   WallTimer timer;
   int64_t rows = entry(&ctx, ctx.params);
@@ -205,6 +293,9 @@ Result<std::unique_ptr<Table>> ExecuteEntryOnTables(
         return Status::ExecError(kMapOverflowMsg);
       case HQ_ERR_OOM:
         return Status::ExecError("generated code ran out of memory");
+      case HQ_ERR_CANCELLED:
+        return Status::ExecError(
+            "a parallel task failed; the query was cancelled");
       default:
         return Status::ExecError("generated code failed with error " +
                                  std::to_string(ctx.error));
@@ -218,6 +309,10 @@ Result<std::unique_ptr<Table>> ExecuteEntryOnTables(
     stats->tuples_emitted = ctx.tuples_emitted;
     stats->helper_calls = ctx.helper_calls;
     stats->arena_bytes = arena.total_allocated();
+    for (const auto& wa : worker_arenas) {
+      stats->arena_bytes += wa->total_allocated();
+    }
+    stats->threads = num_workers;
   }
 
   auto result = std::make_unique<Table>("result", out_schema);

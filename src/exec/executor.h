@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "codegen/runtime_abi.h"
+#include "exec/worker_pool.h"
 #include "plan/physical.h"
 #include "storage/table.h"
 #include "util/status.h"
@@ -21,7 +22,18 @@ struct ExecStats {
   uint64_t pages_touched = 0;
   uint64_t tuples_emitted = 0;
   uint64_t helper_calls = 0;
-  uint64_t arena_bytes = 0;
+  uint64_t arena_bytes = 0;    // query arena + all worker arenas
+  uint32_t threads = 1;        // executor slots the run could schedule on
+};
+
+/// Intra-query parallelism wiring for one execution. Defaults describe the
+/// serial regime: no pool, one worker context, unbounded scratch. The
+/// engine shares one WorkerPool across all concurrent executions; each
+/// execution gets its own per-worker arenas and counter blocks, so the
+/// pool threads never share mutable state between queries.
+struct ParallelRuntime {
+  WorkerPool* pool = nullptr;      // null => hq_parallel_for runs serially
+  uint64_t arena_limit_bytes = 0;  // shared scratch budget (0 = unlimited)
 };
 
 /// Returns true when the failure is the map-aggregation directory overflow
@@ -56,11 +68,13 @@ Status BindParamValues(const plan::ParamTable& params,
 /// Runs an already-resolved query entry point (see exec::CompiledLibrary)
 /// with the given parameter block (may be null): pins all base tables in
 /// memory, executes, and returns the result as an in-memory table with the
-/// plan's output schema. The cache-hit hot path — no dlopen/dlsym.
+/// plan's output schema. The cache-hit hot path — no dlopen/dlsym. `par`
+/// selects the worker pool / thread budget; the default runs serially.
 Result<std::unique_ptr<Table>> ExecuteCompiled(const plan::PhysicalPlan& plan,
                                                HqEntryFn entry,
                                                const HqParams* params,
-                                               ExecStats* stats);
+                                               ExecStats* stats,
+                                               const ParallelRuntime& par = {});
 
 /// Lower-level entry points: run a compiled query against an explicit table
 /// list (used by the §VI-A microbenchmark variants, which bypass the SQL
@@ -69,11 +83,13 @@ Result<std::unique_ptr<Table>> ExecuteCompiled(const plan::PhysicalPlan& plan,
 Result<std::unique_ptr<Table>> ExecuteLibraryOnTables(
     const std::vector<Table*>& tables, const Schema& output_schema,
     const std::string& library_path, const std::string& entry_symbol,
-    const HqParams* params, ExecStats* stats);
+    const HqParams* params, ExecStats* stats,
+    const ParallelRuntime& par = {});
 
 Result<std::unique_ptr<Table>> ExecuteEntryOnTables(
     const std::vector<Table*>& tables, const Schema& output_schema,
-    HqEntryFn entry, const HqParams* params, ExecStats* stats);
+    HqEntryFn entry, const HqParams* params, ExecStats* stats,
+    const ParallelRuntime& par = {});
 
 }  // namespace hique::exec
 

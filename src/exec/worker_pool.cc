@@ -1,0 +1,86 @@
+#include "exec/worker_pool.h"
+
+#include <algorithm>
+
+namespace hique::exec {
+
+WorkerPool::WorkerPool(uint32_t num_workers) {
+  threads_.reserve(num_workers);
+  for (uint32_t i = 0; i < num_workers; ++i) {
+    threads_.emplace_back(&WorkerPool::WorkerLoop, this, i);
+  }
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void WorkerPool::RunTasks(Job* job, uint32_t slot) {
+  for (;;) {
+    uint32_t t = job->next.fetch_add(1, std::memory_order_relaxed);
+    if (t >= job->num_tasks) return;
+    if (!job->cancelled.load(std::memory_order_acquire)) {
+      if ((*job->fn)(slot, t) != 0) {
+        job->cancelled.store(true, std::memory_order_release);
+      }
+    }
+    if (job->done.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+        job->num_tasks) {
+      std::lock_guard<std::mutex> lk(job->mu);
+      job->complete = true;
+      job->cv.notify_all();
+    }
+  }
+}
+
+void WorkerPool::EraseIfDrained(const std::shared_ptr<Job>& job) {
+  if (job->next.load(std::memory_order_relaxed) < job->num_tasks) return;
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = std::find(jobs_.begin(), jobs_.end(), job);
+  if (it != jobs_.end()) jobs_.erase(it);
+}
+
+void WorkerPool::WorkerLoop(uint32_t slot) {
+  for (;;) {
+    std::shared_ptr<Job> job;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      cv_.wait(lk, [&] { return stop_ || !jobs_.empty(); });
+      if (stop_) return;
+      job = jobs_.front();
+    }
+    RunTasks(job.get(), slot);
+    EraseIfDrained(job);
+  }
+}
+
+bool WorkerPool::ParallelFor(uint32_t num_tasks, const TaskFn& fn) {
+  if (num_tasks == 0) return true;
+  if (threads_.empty()) {
+    for (uint32_t t = 0; t < num_tasks; ++t) {
+      if (fn(0, t) != 0) return false;
+    }
+    return true;
+  }
+  auto job = std::make_shared<Job>();
+  job->fn = &fn;
+  job->num_tasks = num_tasks;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    jobs_.push_back(job);
+  }
+  cv_.notify_all();
+  // The caller claims tasks too, as the last executor slot.
+  RunTasks(job.get(), static_cast<uint32_t>(threads_.size()));
+  EraseIfDrained(job);
+  std::unique_lock<std::mutex> lk(job->mu);
+  job->cv.wait(lk, [&] { return job->complete; });
+  return !job->cancelled.load(std::memory_order_acquire);
+}
+
+}  // namespace hique::exec

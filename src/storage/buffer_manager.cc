@@ -28,7 +28,10 @@ BufferManager::BufferManager(size_t frame_capacity) {
 }
 
 BufferManager::~BufferManager() {
-  (void)FlushAll();
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    (void)FlushAllLocked();
+  }
   for (auto& f : files_) {
     if (f.fd >= 0) ::close(f.fd);
   }
@@ -50,11 +53,13 @@ Result<FileId> BufferManager::OpenFile(const std::string& path, bool create) {
   state.path = path;
   state.fd = fd;
   state.page_count = static_cast<uint64_t>(size) / kPageSize;
+  std::lock_guard<std::mutex> lk(mu_);
   files_.push_back(state);
   return static_cast<FileId>(files_.size() - 1);
 }
 
 Result<uint64_t> BufferManager::FilePageCount(FileId file) {
+  std::lock_guard<std::mutex> lk(mu_);
   if (file >= files_.size()) return Status::InvalidArgument("bad file id");
   return files_[file].page_count;
 }
@@ -101,6 +106,7 @@ Result<Page*> BufferManager::PinExisting(size_t frame_index) {
 }
 
 Result<Page*> BufferManager::NewPage(FileId file, uint64_t* page_no) {
+  std::lock_guard<std::mutex> lk(mu_);
   if (file >= files_.size()) return Status::InvalidArgument("bad file id");
   OpenFileState& f = files_[file];
   uint64_t no = f.page_count++;
@@ -126,6 +132,7 @@ Result<Page*> BufferManager::NewPage(FileId file, uint64_t* page_no) {
 }
 
 Result<Page*> BufferManager::FetchPage(FileId file, uint64_t page_no) {
+  std::lock_guard<std::mutex> lk(mu_);
   if (file >= files_.size()) return Status::InvalidArgument("bad file id");
   auto it = page_table_.find({file, page_no});
   if (it != page_table_.end()) {
@@ -155,6 +162,7 @@ Result<Page*> BufferManager::FetchPage(FileId file, uint64_t page_no) {
 }
 
 void BufferManager::Unpin(FileId file, uint64_t page_no, bool dirty) {
+  std::lock_guard<std::mutex> lk(mu_);
   auto it = page_table_.find({file, page_no});
   HQ_CHECK_MSG(it != page_table_.end(), "unpin of unmapped page");
   FrameMeta& m = meta_[it->second];
@@ -168,6 +176,11 @@ void BufferManager::Unpin(FileId file, uint64_t page_no, bool dirty) {
 }
 
 Status BufferManager::FlushAll() {
+  std::lock_guard<std::mutex> lk(mu_);
+  return FlushAllLocked();
+}
+
+Status BufferManager::FlushAllLocked() {
   for (size_t i = 0; i < meta_.size(); ++i) {
     HQ_RETURN_IF_ERROR(WriteBack(i));
   }

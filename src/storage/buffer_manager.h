@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <list>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -22,6 +23,11 @@ using FileId = uint32_t;
 /// Main-memory query execution (the paper's regime) pins a table's pages for
 /// the duration of a query; the pool must therefore be sized to the working
 /// set, exactly as the paper sizes its machine so the TPC-H data fits in RAM.
+///
+/// Thread-safe: one mutex guards the frame map, pin counts, LRU list and
+/// counters, so concurrent (and intra-query parallel) executions can pin
+/// and unpin file-backed tables safely. Page *contents* follow the engine
+/// rule that base tables are not mutated during queries.
 class BufferManager {
  public:
   explicit BufferManager(size_t frame_capacity);
@@ -49,9 +55,18 @@ class BufferManager {
   Status FlushAll();
 
   size_t frame_capacity() const { return frames_.size(); }
-  uint64_t hit_count() const { return hits_; }
-  uint64_t miss_count() const { return misses_; }
-  uint64_t eviction_count() const { return evictions_; }
+  uint64_t hit_count() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return hits_;
+  }
+  uint64_t miss_count() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return misses_;
+  }
+  uint64_t eviction_count() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return evictions_;
+  }
 
  private:
   struct FrameMeta {
@@ -77,10 +92,13 @@ class BufferManager {
     }
   };
 
+  // All require mu_ held.
   Result<size_t> GetVictimFrame();
   Status WriteBack(size_t frame_index);
   Result<Page*> PinExisting(size_t frame_index);
+  Status FlushAllLocked();
 
+  mutable std::mutex mu_;
   std::vector<Page*> frames_;           // frame storage (aligned heap pages)
   std::vector<FrameMeta> meta_;
   std::list<size_t> lru_;               // front = least recently used

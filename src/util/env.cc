@@ -108,5 +108,14 @@ const std::string& ProcessTempDir() {
   return holder->path;
 }
 
+int64_t EnvInt(const std::string& name, int64_t def) {
+  const char* v = std::getenv(name.c_str());
+  if (v == nullptr || *v == '\0') return def;
+  char* end = nullptr;
+  long long parsed = std::strtoll(v, &end, 10);
+  if (end == v || *end != '\0') return def;
+  return static_cast<int64_t>(parsed);
+}
+
 }  // namespace env
 }  // namespace hique

@@ -41,6 +41,10 @@ Result<std::vector<std::string>> ListDir(const std::string& path);
 /// removed at process exit.
 const std::string& ProcessTempDir();
 
+/// Integer environment variable, or `def` when unset/unparsable (used for
+/// runtime knobs like HQ_THREADS).
+int64_t EnvInt(const std::string& name, int64_t def);
+
 }  // namespace env
 }  // namespace hique
 

@@ -108,8 +108,27 @@ TEST_F(CodegenTest, FusedScalarAggHasNoVecAppendInLoops) {
   std::string src = GenerateFor(
       "select count(*) as c, sum(s_d) as t from r, s where r_k = s_k");
   EXPECT_NE(src.find("scalar aggregation fused"), std::string::npos);
-  // The fused join updates static registers instead of materializing.
-  EXPECT_NE(src.find("_grp_n"), std::string::npos);
+  // The fused join updates a per-task accumulator block instead of
+  // materializing (no file-scope statics: those would race under
+  // partition parallelism and leak state across cached re-executions).
+  EXPECT_NE(src.find("acc->grp_n"), std::string::npos);
+  EXPECT_EQ(src.find("_grp_n = 0;"), std::string::npos);  // no file statics
+}
+
+TEST_F(CodegenTest, OperatorsRunThroughParallelForService) {
+  plan::PlannerOptions opts;
+  opts.force_join_algo = plan::JoinAlgo::kHybridHashSortMerge;
+  opts.fine_partition_max_domain = 0;
+  std::string src = GenerateFor(
+      "select r_k, s_v from r, s where r_k = s_k", opts);
+  // Staging, partitioning and the per-partition join all dispatch through
+  // the runtime parallel-for service; the thread count is a pure runtime
+  // knob, never baked into the source.
+  EXPECT_NE(src.find("hq_parallel_for(ctx"), std::string::npos);
+  EXPECT_NE(src.find("_stage_count"), std::string::npos);
+  EXPECT_NE(src.find("_part_scatter"), std::string::npos);
+  EXPECT_NE(src.find("_join_part"), std::string::npos);
+  EXPECT_EQ(src.find("HQ_THREADS"), std::string::npos);
 }
 
 TEST_F(CodegenTest, SortedOutputSkipsFinalSort) {
