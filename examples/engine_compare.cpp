@@ -68,7 +68,8 @@ int main(int argc, char** argv) {
 
   {
     HiqueEngine engine(&catalog);
-    auto r = engine.Query(sql);
+    Session session = engine.OpenSession({});
+    auto r = session.Query(sql);
     if (!r.ok()) {
       std::printf("hique: %s\n", r.status().ToString().c_str());
       return 1;

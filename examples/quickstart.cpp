@@ -1,5 +1,6 @@
-// Quickstart: create a table, load rows, run SQL through the holistic
-// engine, inspect results and the generated code statistics.
+// Quickstart: create a table, load rows, open a client session and run SQL
+// through the holistic engine — blocking, streaming-cursor and async
+// submission — then inspect results and the generated code statistics.
 //
 //   $ ./build/examples/quickstart
 
@@ -47,18 +48,21 @@ int main() {
   // aggregation, fine vs coarse partitioning).
   (void)weather->ComputeStats();
 
-  // 3. Ask HIQUE. The engine parses, optimizes, *generates C++ source for
-  // this exact query*, compiles it to a shared library, dlopens it and runs
-  // it (paper ICDE'10, Fig. 2).
+  // 3. Ask HIQUE through a client session. The engine parses, optimizes,
+  // *generates C++ source for this exact query*, compiles it to a shared
+  // library, dlopens it and runs it (paper ICDE'10, Fig. 2). Sessions
+  // carry per-client settings (planner overrides, parallelism, priority)
+  // and are the gateway to the streaming and async APIs below.
   EngineOptions options;
   options.keep_source = true;  // retain the generated code for inspection
   HiqueEngine engine(&catalog, options);
+  Session session = engine.OpenSession({});
 
   const char* sql =
       "select city, count(*) as days, avg(temp) as avg_temp, "
       "min(temp) as coldest from weather "
       "where day >= date '2009-11-02' group by city order by avg_temp desc";
-  auto result = engine.Query(sql);
+  auto result = session.Query(sql);
   if (!result.ok()) {
     std::printf("query failed: %s\n", result.status().ToString().c_str());
     return 1;
@@ -89,7 +93,7 @@ int main() {
   // 4. Prepared statements: compile the template once, execute it for any
   // `?` binding. Execute skips parse/optimize/generate/compile entirely and
   // runs the pinned entry point — no dlopen on the hot path.
-  auto stmt = engine.Prepare(
+  auto stmt = session.Prepare(
       "select city, avg(temp) as avg_temp from weather "
       "where temp >= ? group by city");
   if (!stmt.ok()) {
@@ -98,7 +102,7 @@ int main() {
   }
   std::printf("\n=== prepared statement (temp >= ?) ===\n");
   for (double threshold : {7.0, 18.0}) {
-    auto r = engine.Execute(stmt.value(), {Value::Double(threshold)});
+    auto r = session.Execute(stmt.value(), {Value::Double(threshold)});
     if (!r.ok()) {
       std::printf("execute failed: %s\n", r.status().ToString().c_str());
       return 1;
@@ -108,5 +112,48 @@ int main() {
                 threshold, static_cast<long long>(r.value().NumRows()),
                 r.value().timings.execute_ms, r.value().ToString().c_str());
   }
+
+  // 5. Streaming cursor: rows arrive page-at-a-time through a bounded
+  // buffer, so a result of any size flows at O(1) result memory. Closing
+  // the cursor early cancels the rest of the query.
+  std::printf("=== streaming cursor ===\n");
+  auto rs = session.QueryStream(
+      "select id, city, temp from weather where temp > 5.0");
+  if (!rs.ok()) {
+    std::printf("stream failed: %s\n", rs.status().ToString().c_str());
+    return 1;
+  }
+  ResultSet cursor = std::move(rs).value();
+  while (cursor.Next()) {
+    std::printf("  row %lld: id=%s city=%s temp=%s\n",
+                static_cast<long long>(cursor.rows_read()),
+                cursor.Get(0).ToString().c_str(),
+                cursor.Get(1).ToString().c_str(),
+                cursor.Get(2).ToString().c_str());
+  }
+  if (!cursor.status().ok()) {
+    std::printf("stream failed: %s\n", cursor.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("streamed %lld rows, peak resident result pages: %u\n",
+              static_cast<long long>(cursor.rows_read()),
+              cursor.peak_result_pages());
+
+  // 6. Async submission: queries queue through the engine's
+  // priority-weighted admission scheduler and complete in the background;
+  // the handle is a future (Wait / TryPoll / Cancel).
+  std::printf("\n=== async submission ===\n");
+  QueryHandle handle = session.SubmitAsync(
+      "select city, max(temp) as hottest from weather group by city "
+      "order by hottest desc");
+  auto async_result = handle.Wait();
+  if (!async_result.ok()) {
+    std::printf("async failed: %s\n",
+                async_result.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("dispatched as #%llu:\n%s\n",
+              static_cast<unsigned long long>(handle.dispatch_seq()),
+              async_result.value().ToString().c_str());
   return 0;
 }

@@ -68,7 +68,8 @@ int main() {
   // 3. Queries over file-backed tables work exactly like memory-resident
   // ones: the executor pins the pages for the duration of the query.
   HiqueEngine engine(&catalog);
-  auto result = engine.Query(
+  Session session = engine.OpenSession({});
+  auto result = session.Query(
       "select count(*) as n, avg(score) as avg_score from events "
       "where id < 10");
   if (!result.ok()) {

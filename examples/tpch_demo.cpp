@@ -33,6 +33,7 @@ int main(int argc, char** argv) {
               (unsigned long long)catalog.GetTable("customer").value()->NumTuples());
 
   HiqueEngine engine(&catalog);
+  Session session = engine.OpenSession({});
   struct QuerySpec {
     const char* name;
     std::string sql;
@@ -43,7 +44,7 @@ int main(int argc, char** argv) {
                          {"TPC-H Q10 (returned item reporting)",
                           tpch::Query10Sql()}};
   for (const auto& q : queries) {
-    auto result = engine.Query(q.sql);
+    auto result = session.Query(q.sql);
     if (!result.ok()) {
       std::printf("%s failed: %s\n", q.name,
                   result.status().ToString().c_str());
@@ -58,5 +59,25 @@ int main(int argc, char** argv) {
                 static_cast<long long>(result.value().NumRows()));
     std::printf("%s\n", result.value().ToString(5).c_str());
   }
+
+  // Stream Q1 through a cursor: the compiled library is shared with the
+  // materialized run above (cache hit) and the rows flow page-at-a-time
+  // under a bounded result buffer.
+  auto rs = session.QueryStream(tpch::Query1Sql());
+  if (!rs.ok()) {
+    std::printf("stream failed: %s\n", rs.status().ToString().c_str());
+    return 1;
+  }
+  ResultSet cursor = std::move(rs).value();
+  int64_t streamed = 0;
+  while (cursor.Next()) ++streamed;
+  if (!cursor.status().ok()) {
+    std::printf("stream failed: %s\n", cursor.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("=== Q1 streamed ===\ncache_hit=%s | %lld rows | peak "
+              "resident result pages %u\n",
+              cursor.cache_hit() ? "yes" : "no",
+              static_cast<long long>(streamed), cursor.peak_result_pages());
   return 0;
 }

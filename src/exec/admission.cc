@@ -1,0 +1,106 @@
+#include "exec/admission.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace hique::exec {
+
+AdmissionController::AdmissionController(uint32_t slots) {
+  if (slots < 1) slots = 1;
+  runners_.reserve(slots);
+  for (uint32_t i = 0; i < slots; ++i) {
+    runners_.emplace_back(&AdmissionController::RunnerLoop, this);
+  }
+}
+
+AdmissionController::~AdmissionController() {
+  std::vector<QueuedJob> orphaned;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+    orphaned.swap(queue_);
+  }
+  cv_.notify_all();
+  for (auto& t : runners_) t.join();
+  // Settle jobs that never dispatched: their promises must not hang.
+  for (auto& job : orphaned) job.fn(0, /*cancelled=*/true);
+}
+
+uint64_t AdmissionController::Submit(Client* client, JobFn fn) {
+  uint64_t ticket;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    ticket = next_ticket_++;
+    uint32_t weight = std::min(std::max(client->weight, 1u), 64u);
+    // An idle client rejoins at the current virtual time: it competes
+    // fairly from now on instead of replaying the passes it never used.
+    client->pass = std::max(client->pass, vtime_);
+    QueuedJob job;
+    job.pass = client->pass;
+    job.ticket = ticket;
+    job.fn = std::move(fn);
+    client->pass += kStrideUnit / weight;
+    queue_.push_back(std::move(job));
+    ++counters_.submitted;
+    counters_.max_queued = std::max<uint64_t>(counters_.max_queued,
+                                              queue_.size());
+  }
+  cv_.notify_one();
+  return ticket;
+}
+
+bool AdmissionController::TryRemove(uint64_t ticket) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = std::find_if(queue_.begin(), queue_.end(),
+                         [&](const QueuedJob& j) { return j.ticket == ticket; });
+  if (it == queue_.end()) return false;
+  queue_.erase(it);
+  ++counters_.removed;
+  return true;
+}
+
+void AdmissionController::Pause() {
+  std::lock_guard<std::mutex> lk(mu_);
+  paused_ = true;
+}
+
+void AdmissionController::Resume() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    paused_ = false;
+  }
+  cv_.notify_all();
+}
+
+AdmissionController::Counters AdmissionController::counters() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return counters_;
+}
+
+void AdmissionController::RunnerLoop() {
+  for (;;) {
+    QueuedJob job;
+    uint64_t seq;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      cv_.wait(lk, [&] { return stop_ || (!paused_ && !queue_.empty()); });
+      if (stop_) return;
+      // Dispatch the smallest pass; submission order (ticket) breaks ties,
+      // so equal-pass jobs keep FIFO semantics.
+      auto it = std::min_element(queue_.begin(), queue_.end(),
+                                 [](const QueuedJob& a, const QueuedJob& b) {
+                                   return a.pass != b.pass
+                                              ? a.pass < b.pass
+                                              : a.ticket < b.ticket;
+                                 });
+      job = std::move(*it);
+      queue_.erase(it);
+      vtime_ = std::max(vtime_, job.pass);
+      seq = ++dispatch_seq_;
+      ++counters_.dispatched;
+    }
+    job.fn(seq, /*cancelled=*/false);
+  }
+}
+
+}  // namespace hique::exec

@@ -1,0 +1,97 @@
+#ifndef HIQUE_EXEC_ADMISSION_H_
+#define HIQUE_EXEC_ADMISSION_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace hique::exec {
+
+/// Priority-weighted admission control for asynchronously submitted
+/// queries: a fixed number of slots (runner threads) executes queued jobs
+/// in stride-scheduling order, placed in front of the shared WorkerPool so
+/// concurrent sessions get access proportional to their weights instead of
+/// free-for-all interleaving.
+///
+/// Stride scheduling: every client (session) carries a virtual-time `pass`
+/// that advances by kStrideUnit / weight per submitted job; the dispatcher
+/// always picks the queued job with the smallest pass (submission order
+/// breaks ties). A weight-4 session therefore dispatches four jobs for
+/// every one a weight-1 session dispatches while both keep the queue
+/// non-empty — and an idle session rejoining is clamped to the current
+/// virtual time, so it cannot hoard a backlog of cheap passes.
+class AdmissionController {
+ public:
+  /// Pass advance per job for weight 1; weight w advances by kStrideUnit/w.
+  static constexpr uint64_t kStrideUnit = 1ull << 20;
+
+  /// The unit of admitted work. `dispatch_seq` is the global dispatch
+  /// order (1-based) when the job runs; when the controller shuts down
+  /// with the job still queued it is invoked with `cancelled` true (and
+  /// seq 0) so its promise can be failed instead of leaving waiters hung.
+  using JobFn = std::function<void(uint64_t dispatch_seq, bool cancelled)>;
+
+  /// Per-session scheduling state. Owned by the session, mutated only by
+  /// Submit (under the controller lock).
+  struct Client {
+    uint32_t weight = 1;  // clamped to [1, 64]
+    uint64_t pass = 0;
+  };
+
+  /// Spawns `slots` runner threads (at least 1).
+  explicit AdmissionController(uint32_t slots);
+  ~AdmissionController();
+  AdmissionController(const AdmissionController&) = delete;
+  AdmissionController& operator=(const AdmissionController&) = delete;
+
+  uint32_t slots() const { return static_cast<uint32_t>(runners_.size()); }
+
+  /// Enqueues a job for `client` and returns its ticket (nonzero).
+  uint64_t Submit(Client* client, JobFn fn);
+
+  /// Removes a still-queued job. True when the job was dequeued before
+  /// dispatch (the caller settles its promise); false when it already ran
+  /// or is running.
+  bool TryRemove(uint64_t ticket);
+
+  /// Stops dispatching queued jobs (running jobs finish). Used to drain
+  /// the engine for maintenance and to make scheduling order observable
+  /// in tests.
+  void Pause();
+  void Resume();
+
+  struct Counters {
+    uint64_t submitted = 0;
+    uint64_t dispatched = 0;
+    uint64_t removed = 0;    // cancelled while still queued
+    uint64_t max_queued = 0;  // high-water mark of the queue depth
+  };
+  Counters counters() const;
+
+ private:
+  struct QueuedJob {
+    uint64_t pass = 0;
+    uint64_t ticket = 0;
+    JobFn fn;
+  };
+
+  void RunnerLoop();
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<std::thread> runners_;
+  std::vector<QueuedJob> queue_;
+  bool paused_ = false;
+  bool stop_ = false;
+  uint64_t vtime_ = 0;       // pass of the most recently dispatched job
+  uint64_t next_ticket_ = 1;
+  uint64_t dispatch_seq_ = 0;
+  Counters counters_;
+};
+
+}  // namespace hique::exec
+
+#endif  // HIQUE_EXEC_ADMISSION_H_

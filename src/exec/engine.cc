@@ -4,6 +4,8 @@
 #include <utility>
 
 #include "codegen/generator.h"
+#include "exec/admission.h"
+#include "exec/session_internal.h"
 #include "plan/params.h"
 #include "sql/binder.h"
 #include "sql/parser.h"
@@ -52,22 +54,7 @@ std::string QueryResult::ToString(size_t max_rows) const {
 }
 
 // ---- PreparedStatement -----------------------------------------------------
-
-/// Immutable after Prepare, so concurrent Execute calls share it freely. The
-/// one exception is the lazily created map-overflow fallback (stale
-/// statistics re-plan), which is guarded by its own mutex.
-struct PreparedStatement::State {
-  std::string sql;
-  std::string signature;
-  std::string plan_text;
-  std::unique_ptr<plan::PhysicalPlan> plan;
-  std::shared_ptr<exec::CompiledLibrary> library;  // pinned: eviction-proof
-  QueryTimings prepare_timings;
-  bool cache_hit = false;
-
-  mutable std::mutex fallback_mu;
-  mutable std::shared_ptr<const State> fallback;
-};
+// (State lives in session_internal.h — shared with the session layer.)
 
 const std::string& PreparedStatement::sql() const {
   HQ_CHECK_MSG(valid(), "accessor on an unprepared statement");
@@ -107,16 +94,19 @@ HiqueEngine::HiqueEngine(Catalog* catalog, EngineOptions options)
   if (threads_ > 1) {
     worker_pool_ = std::make_unique<exec::WorkerPool>(threads_ - 1);
   }
-}
-
-exec::ParallelRuntime HiqueEngine::ParallelFor() const {
-  exec::ParallelRuntime par;
-  par.pool = worker_pool_.get();
-  par.arena_limit_bytes = options_.arena_limit_bytes;
-  return par;
+  default_session_ = OpenSession({});
 }
 
 HiqueEngine::~HiqueEngine() {
+  // Wind down client work first: cancel the default session's in-flight
+  // queries, then stop the admission scheduler (queued jobs settle as
+  // cancelled, running ones finish and their runner threads join) while
+  // the worker pool and compiled libraries are still alive.
+  default_session_.Close();
+  {
+    std::lock_guard<std::mutex> lk(admission_mu_);
+    admission_.reset();
+  }
   std::thread worker;
   {
     std::lock_guard<std::mutex> lk(mu_);
@@ -132,14 +122,17 @@ HiqueEngine::~HiqueEngine() {
   if (worker.joinable()) worker.join();
 }
 
-Result<QueryResult> HiqueEngine::Query(const std::string& sql) {
-  return Run(sql, options_.planner, options_.cache_compiled);
+exec::AdmissionController* HiqueEngine::admission() {
+  std::lock_guard<std::mutex> lk(admission_mu_);
+  if (admission_ == nullptr) {
+    admission_ =
+        std::make_unique<exec::AdmissionController>(options_.async_slots);
+  }
+  return admission_.get();
 }
 
-Result<QueryResult> HiqueEngine::QueryWithPlanner(
-    const std::string& sql, const plan::PlannerOptions& planner) {
-  return Run(sql, planner, /*cacheable=*/false);
-}
+void HiqueEngine::PauseAdmission() { admission()->Pause(); }
+void HiqueEngine::ResumeAdmission() { admission()->Resume(); }
 
 Result<std::shared_ptr<exec::CompiledLibrary>> HiqueEngine::CompilePlan(
     const plan::PhysicalPlan& plan, int opt_level, QueryTimings* timings) {
@@ -343,105 +336,16 @@ bool SameParamLayout(const plan::ParamTable& a, const plan::ParamTable& b) {
 
 }  // namespace
 
-Result<QueryResult> HiqueEngine::Run(const std::string& sql,
-                                     const plan::PlannerOptions& planner,
-                                     bool cacheable) {
+Result<std::shared_ptr<const PreparedStatement::State>>
+HiqueEngine::PrepareState(const std::string& sql,
+                          const plan::PlannerOptions& planner, bool cacheable,
+                          bool force_hybrid_agg, bool allow_placeholders) {
   // max_cached_queries == 0 disables caching outright.
   cacheable = cacheable && options_.max_cached_queries > 0;
-  bool force_hybrid_agg = false;
-  std::string failed_signature;   // overflowed map plan's signature
-  plan::ParamTable failed_params; // ... and its parameter layout
-  for (;;) {
-    QueryResult result;
-    WallTimer timer;
-
-    HQ_ASSIGN_OR_RETURN(auto stmt, sql::Parse(sql));
-    result.timings.parse_ms = timer.ElapsedMillis();
-
-    timer.Restart();
-    HQ_ASSIGN_OR_RETURN(auto bound, sql::Bind(*stmt, *catalog_));
-    if (bound->num_placeholders > 0) {
-      return Status::BindError(
-          "query contains ? placeholders; use Prepare/Execute to bind values");
-    }
-    plan::PlannerOptions effective = planner;
-    if (force_hybrid_agg) {
-      effective.force_agg_algo = plan::AggAlgo::kHybridHashSort;
-    }
-    HQ_ASSIGN_OR_RETURN(auto plan, plan::Optimize(std::move(bound), effective));
-    // Hoist literal constants into the plan's parameter table, then key the
-    // compiled-query cache on the literal-free structural signature.
-    if (options_.hoist_constants) plan::ParameterizePlan(plan.get());
-    result.plan_signature = plan::PlanSignature(*plan);
-    result.timings.optimize_ms = timer.ElapsedMillis();
-    result.plan_text = plan->ToString();
-
-    HQ_ASSIGN_OR_RETURN(
-        auto library,
-        GetOrCompile(result.plan_signature, *plan, cacheable, &result.timings,
-                     &result.cache_hit));
-
-    if (options_.keep_source) result.generated_source = library->source();
-    result.source_bytes = library->compiled().source_bytes;
-    result.library_bytes = library->compiled().library_bytes;
-    result.library_opt_level = library->opt_level();
-
-    // Bind the current literal values into the runtime parameter block.
-    exec::BoundParams bound_params;
-    exec::BindParams(plan->params, &bound_params);
-
-    timer.Restart();
-    auto table =
-        exec::ExecuteCompiled(*plan, library->entry(), &bound_params.abi,
-                              &result.exec_stats, ParallelFor());
-    if (!table.ok()) {
-      if (exec::IsMapOverflow(table.status()) && !force_hybrid_agg) {
-        // Statistics were stale: directories overflowed. Re-plan with hybrid
-        // hash-sort aggregation and retry once.
-        force_hybrid_agg = true;
-        failed_signature = result.plan_signature;
-        failed_params = plan->params;
-        continue;
-      }
-      return table.status();
-    }
-    result.timings.execute_ms = timer.ElapsedMillis();
-    result.table = std::move(table).value();
-    result.schema = result.table->schema();
-    if (force_hybrid_agg && cacheable && !failed_signature.empty() &&
-        SameParamLayout(failed_params, plan->params)) {
-      // Future repeats re-plan to the overflowing map plan (stats are still
-      // stale), so alias the working fallback library under that plan's
-      // signature too — they then skip the failing execution entirely. Safe
-      // only when both plans bind identical parameter banks, which the
-      // layout check guarantees for every future literal variant. Prefer
-      // the hybrid signature's current entry (the tier worker may already
-      // have swapped -O2 in); if the alias is still tier 0, schedule its
-      // own upgrade — the hybrid plan's swap only covers its own key.
-      std::shared_ptr<exec::CompiledLibrary> alias =
-          PeekLibrary(result.plan_signature);
-      if (alias == nullptr) alias = library;
-      {
-        std::lock_guard<std::mutex> lk(mu_);
-        InsertCacheLocked(failed_signature, alias);
-      }
-      if (options_.tiered_compilation &&
-          alias->opt_level() < options_.compile.opt_level) {
-        ScheduleTierUpgrade(failed_signature, alias);
-      }
-    }
-    {
-      std::lock_guard<std::mutex> lk(mu_);
-      result.cache_stats = StatsSnapshotLocked();
-    }
-    return result;
-  }
-}
-
-Result<std::shared_ptr<const PreparedStatement::State>>
-HiqueEngine::PrepareState(const std::string& sql, bool force_hybrid_agg) {
   auto state = std::make_shared<PreparedStatement::State>();
   state->sql = sql;
+  state->planner = planner;
+  state->cacheable = cacheable;
 
   WallTimer timer;
   HQ_ASSIGN_OR_RETURN(auto stmt, sql::Parse(sql));
@@ -449,18 +353,29 @@ HiqueEngine::PrepareState(const std::string& sql, bool force_hybrid_agg) {
 
   timer.Restart();
   HQ_ASSIGN_OR_RETURN(auto bound, sql::Bind(*stmt, *catalog_));
-  plan::PlannerOptions effective = options_.planner;
+  if (!allow_placeholders && bound->num_placeholders > 0) {
+    return Status::BindError(
+        "query contains ? placeholders; use Prepare/Execute to bind values");
+  }
+  plan::PlannerOptions effective = planner;
   if (force_hybrid_agg) {
     effective.force_agg_algo = plan::AggAlgo::kHybridHashSort;
   }
   HQ_ASSIGN_OR_RETURN(auto plan, plan::Optimize(std::move(bound), effective));
+  // Hoist literal constants into the plan's parameter table, then key the
+  // compiled-query cache on the literal-free structural signature.
   // Placeholders must live in the parameter block even when constant
   // hoisting is off — they have no value to inline at prepare time.
   plan::ParameterizePlan(plan.get(),
                          options_.hoist_constants
                              ? plan::ParamMode::kAllLiterals
                              : plan::ParamMode::kPlaceholdersOnly);
-  state->signature = plan::PlanSignature(*plan);
+  // The catalog statistics version prefixes the structural signature: a
+  // stats refresh re-keys every plan, so stale compiled libraries (whose
+  // partition counts / directory geometry baked in the old stats) stop
+  // being served and age out of the LRU instead of lingering.
+  state->signature = "sv" + std::to_string(catalog_->StatsVersion()) + "|" +
+                     plan::PlanSignature(*plan);
   state->prepare_timings.optimize_ms = timer.ElapsedMillis();
   state->plan_text = plan->ToString();
 
@@ -473,7 +388,6 @@ HiqueEngine::PrepareState(const std::string& sql, bool force_hybrid_agg) {
     }
   }
 
-  bool cacheable = options_.cache_compiled && options_.max_cached_queries > 0;
   bool hit = false;
   HQ_ASSIGN_OR_RETURN(state->library,
                       GetOrCompile(state->signature, *plan, cacheable,
@@ -483,79 +397,32 @@ HiqueEngine::PrepareState(const std::string& sql, bool force_hybrid_agg) {
   return std::shared_ptr<const PreparedStatement::State>(std::move(state));
 }
 
-Result<PreparedStatement> HiqueEngine::Prepare(const std::string& sql) {
-  HQ_ASSIGN_OR_RETURN(auto state, PrepareState(sql, /*force_hybrid_agg=*/false));
-  PreparedStatement prepared;
-  prepared.state_ = std::move(state);
-  return prepared;
-}
-
-Result<QueryResult> HiqueEngine::Execute(const PreparedStatement& stmt,
-                                         const std::vector<Value>& values) {
-  if (!stmt.valid()) {
-    return Status::BindError("invalid (default-constructed) PreparedStatement");
+void HiqueEngine::InstallOverflowAlias(
+    const std::string& failed_signature,
+    const plan::ParamTable& failed_params,
+    const PreparedStatement::State& fallback) {
+  // Future repeats re-plan to the overflowing map plan (stats are still
+  // stale), so alias the working fallback library under that plan's
+  // signature too — they then skip the failing execution entirely. Safe
+  // only when both plans bind identical parameter banks, which the layout
+  // check guarantees for every future literal variant.
+  if (!fallback.cacheable || failed_signature.empty() ||
+      !SameParamLayout(failed_params, fallback.plan->params)) {
+    return;
   }
-  std::shared_ptr<const PreparedStatement::State> state = stmt.state_;
+  // Prefer the hybrid signature's current entry (the tier worker may
+  // already have swapped -O2 in); if the alias is still tier 0, schedule
+  // its own upgrade — the hybrid plan's swap only covers its own key.
+  std::shared_ptr<exec::CompiledLibrary> alias =
+      PeekLibrary(fallback.signature);
+  if (alias == nullptr) alias = fallback.library;
   {
-    // A previous execution already hit the map-overflow fallback (stale
-    // statistics): start there, skipping the known-doomed map plan.
-    std::lock_guard<std::mutex> lk(state->fallback_mu);
-    if (state->fallback != nullptr) {
-      auto fallback = state->fallback;
-      state = std::move(fallback);
-    }
+    std::lock_guard<std::mutex> lk(mu_);
+    InsertCacheLocked(failed_signature, alias);
   }
-  for (int attempt = 0;; ++attempt) {
-    QueryResult result;
-    result.plan_signature = state->signature;
-    result.plan_text = state->plan_text;
-    result.cache_hit = true;  // Execute never generates or compiles
-
-    // Prefer the cache's current library for this signature: the background
-    // worker may have swapped in the -O2 tier since Prepare. The statement's
-    // pinned library is the eviction-proof fallback.
-    std::shared_ptr<exec::CompiledLibrary> library =
-        PeekLibrary(state->signature);
-    if (library == nullptr) library = state->library;
-    result.library_opt_level = library->opt_level();
-    result.source_bytes = library->compiled().source_bytes;
-    result.library_bytes = library->compiled().library_bytes;
-    if (options_.keep_source) result.generated_source = library->source();
-
-    exec::BoundParams bound_params;
-    HQ_RETURN_IF_ERROR(
-        exec::BindParamValues(state->plan->params, values, &bound_params));
-
-    WallTimer timer;
-    auto table =
-        exec::ExecuteCompiled(*state->plan, library->entry(),
-                              &bound_params.abi, &result.exec_stats,
-                              ParallelFor());
-    if (!table.ok()) {
-      if (exec::IsMapOverflow(table.status()) && attempt == 0) {
-        // Stale statistics: lazily prepare the hybrid-aggregation fallback
-        // once (shared by all executions of this statement) and retry.
-        std::lock_guard<std::mutex> lk(state->fallback_mu);
-        if (state->fallback == nullptr) {
-          auto fallback = PrepareState(state->sql, /*force_hybrid_agg=*/true);
-          if (!fallback.ok()) return fallback.status();
-          state->fallback = std::move(fallback).value();
-        }
-        auto next = state->fallback;
-        // Unlock before the retry executes through the fallback state.
-        state = std::move(next);
-        continue;
-      }
-      return table.status();
-    }
-    result.timings.execute_ms = timer.ElapsedMillis();
-    result.table = std::move(table).value();
-    result.schema = result.table->schema();
-    {
-      std::lock_guard<std::mutex> lk(mu_);
-      result.cache_stats = StatsSnapshotLocked();
-    }
-    return result;
+  if (options_.tiered_compilation &&
+      alias->opt_level() < options_.compile.opt_level) {
+    ScheduleTierUpgrade(failed_signature, alias);
   }
 }
 

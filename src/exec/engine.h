@@ -71,6 +71,12 @@ struct QueryResult {
   std::string ToString(size_t max_rows = 20) const;
 };
 
+namespace exec {
+class AdmissionController;
+}  // namespace exec
+
+class HiqueEngine;
+
 struct EngineOptions {
   plan::PlannerOptions planner;
   exec::CompileOptions compile;
@@ -105,6 +111,45 @@ struct EngineOptions {
   // OOM error; in a parallel run the failing worker cancels the remaining
   // tasks at the next barrier.
   uint64_t arena_limit_bytes = 0;
+  // Concurrent slots of the admission-control scheduler behind
+  // Session::SubmitAsync: at most this many asynchronously submitted
+  // queries execute at once; the rest queue in priority-weighted
+  // (stride-scheduling) order. Blocking Query/Execute calls are not
+  // admission-controlled.
+  uint32_t async_slots = 2;
+  // Default bound on completed result pages a streaming ResultSet buffers
+  // ahead of the consumer (SessionOptions::stream_buffer_pages == 0
+  // inherits this). The producer blocks once the bound is reached, so a
+  // cursor's peak result-page residency is stream_buffer_pages + 2
+  // (buffered + one being filled + one held by the reader) regardless of
+  // result cardinality.
+  uint32_t stream_buffer_pages = 4;
+};
+
+/// Per-session execution settings: every statement a Session runs inherits
+/// these. Zero/absent fields fall back to the engine's EngineOptions.
+struct SessionOptions {
+  /// When set, replaces the engine's planner options for every statement
+  /// this session plans (Query, Prepare, streaming and async variants).
+  bool override_planner = false;
+  plan::PlannerOptions planner;
+  /// Intra-query parallelism: 0 inherits the engine setting; 1 forces
+  /// serial execution for this session's queries; values above 1 use the
+  /// engine's shared worker pool at its configured width (the pool is
+  /// sized once, engine-wide).
+  uint32_t threads = 0;
+  /// Scratch budget override; kInheritArenaLimit inherits the engine
+  /// setting, any other value (0 = unlimited) applies per execution.
+  static constexpr uint64_t kInheritArenaLimit = ~0ull;
+  uint64_t arena_limit_bytes = kInheritArenaLimit;
+  /// Admission-control weight (clamped to [1, 64]): under contention a
+  /// weight-4 session's async submissions dispatch four times as often as
+  /// a weight-1 session's. Also the worker-pool priority of this session's
+  /// parallel barriers.
+  int priority = 1;
+  /// Completed result pages a ResultSet buffers ahead of the consumer;
+  /// 0 inherits EngineOptions::stream_buffer_pages.
+  uint32_t stream_buffer_pages = 0;
 };
 
 /// A prepared statement: the fully planned, compiled form of one SQL string
@@ -125,10 +170,183 @@ class PreparedStatement {
   const QueryTimings& prepare_timings() const;
   bool cache_hit() const;  // library was reused from the cache at Prepare
 
+ public:
+  /// Opaque shared state (defined in the engine implementation).
+  struct State;
+
  private:
   friend class HiqueEngine;
-  struct State;
+  friend struct SessionImpl;
   std::shared_ptr<const State> state_;
+};
+
+/// A pull-based streaming cursor over one query execution. The compiled
+/// library, plan and parameter block stay pinned for the cursor's lifetime;
+/// the executor produces result pages on a private thread and hands them
+/// over through a bounded queue, so peak result-page residency is
+/// O(stream_buffer_pages) — independent of the result cardinality — and
+/// rows stream in exactly the order (and bytes) the materializing Query()
+/// path would produce.
+///
+/// Closing (or destroying) the cursor before the end cancels the rest of
+/// the query: the producer observes the cancellation flag at operator,
+/// task and result-page boundaries and unwinds through the worker-context
+/// sticky-error path, so parallel barriers abandon their remaining tasks.
+///
+/// Not thread-safe: one consumer at a time (the producer side is internal).
+class ResultSet {
+ public:
+  ResultSet();  // invalid until assigned from a *Stream call
+  ~ResultSet();
+  ResultSet(ResultSet&& other) noexcept;
+  ResultSet& operator=(ResultSet&& other) noexcept;
+  ResultSet(const ResultSet&) = delete;
+  ResultSet& operator=(const ResultSet&) = delete;
+
+  bool valid() const { return stream_ != nullptr; }
+  const Schema& schema() const;
+
+  /// Advances to the next row. False at end-of-result or on error —
+  /// check status() to tell the two apart. Blocks while the producer is
+  /// still computing the next page.
+  bool Next();
+
+  /// Current row accessors; valid after a true Next() until the next
+  /// Next()/Close(). RowBytes points at the raw fixed-length tuple
+  /// (schema().TupleSize() bytes) inside the pinned page.
+  const uint8_t* RowBytes() const;
+  Value Get(size_t column) const;
+  std::vector<Value> Row() const;
+
+  /// OK while rows are flowing and after a clean end; the execution error
+  /// (including "query cancelled" after an early Close) otherwise.
+  Status status() const;
+
+  /// Early close: cancels the remaining execution, joins the producer and
+  /// releases all pages. Idempotent; the destructor calls it.
+  void Close();
+
+  /// Drains the remaining rows into a materialized QueryResult (the
+  /// blocking Query/Execute APIs are exactly open-stream + Materialize).
+  /// Rows already consumed through Next() are not replayed.
+  Result<QueryResult> Materialize();
+
+  /// Metadata known at open time.
+  const std::string& plan_signature() const;
+  const std::string& plan_text() const;
+  const QueryTimings& timings() const;  // execute_ms filled at end of stream
+  bool cache_hit() const;
+  int library_opt_level() const;
+
+  int64_t rows_read() const;
+  /// High-water mark of simultaneously resident result pages (buffered +
+  /// in-production + held by the reader). Bounded by stream_buffer_pages+2.
+  uint32_t peak_result_pages() const;
+  /// Execution counters; complete once the stream has ended.
+  const exec::ExecStats& exec_stats() const;
+
+ public:
+  /// Opaque stream state (defined in the session implementation).
+  struct Stream;
+
+ private:
+  friend struct SessionImpl;
+  std::unique_ptr<Stream> stream_;
+};
+
+/// A future over an asynchronously submitted query (Session::SubmitAsync).
+/// Value-semantic handle; safe to poll/cancel from any thread. The result
+/// is single-shot: the first successful Wait()/TryTake() moves it out.
+class QueryHandle {
+ public:
+  QueryHandle() = default;
+  bool valid() const { return state_ != nullptr; }
+
+  /// Blocks until the query finishes and moves the result out. A second
+  /// call (or a call after TryTake returned the result) reports an error.
+  Result<QueryResult> Wait();
+
+  /// Non-blocking completion probe.
+  bool TryPoll() const;
+
+  /// Best-effort cancellation: a still-queued query is dequeued and fails
+  /// with "query cancelled"; a running query is interrupted at its next
+  /// cancellation point. Parse/plan/compile phases are not interruptible.
+  void Cancel();
+
+  /// Admission-scheduler dispatch order (1-based), 0 while queued. Stable
+  /// once the query has started; used by fairness tests and observability.
+  uint64_t dispatch_seq() const;
+
+ public:
+  /// Opaque future state (defined in the session implementation).
+  struct AsyncState;
+
+ private:
+  friend struct SessionImpl;
+  std::shared_ptr<AsyncState> state_;
+};
+
+/// A client session: the unit of connection state in the client-server
+/// model. Carries per-session defaults (planner overrides, parallelism,
+/// scratch budget, scheduling priority), owns the lifecycle of its
+/// in-flight work, and is the only way to reach the streaming and async
+/// APIs. Value-semantic handle over shared state; cheap to copy. All
+/// methods are thread-safe (the underlying engine is). Sessions must not
+/// outlive their engine.
+class Session {
+ public:
+  Session() = default;  // invalid until assigned from OpenSession
+  ~Session();
+  Session(const Session&) = default;
+  Session& operator=(const Session&) = default;
+  Session(Session&&) noexcept = default;
+  Session& operator=(Session&&) noexcept = default;
+
+  bool valid() const { return state_ != nullptr; }
+  const SessionOptions& options() const;
+  HiqueEngine* engine() const;
+
+  /// Blocking evaluation — thin wrappers: open a streaming cursor, drain
+  /// it (page-at-a-time) into a materialized QueryResult. Semantically
+  /// identical to the pre-session HiqueEngine::Query/Execute.
+  Result<QueryResult> Query(const std::string& sql);
+  Result<QueryResult> Execute(const PreparedStatement& stmt,
+                              const std::vector<Value>& values = {});
+
+  /// Prepares with this session's planner options; the statement shares
+  /// the engine-wide compiled-plan cache.
+  Result<PreparedStatement> Prepare(const std::string& sql);
+
+  /// Streaming evaluation: returns a cursor after parse/optimize/compile;
+  /// execution runs concurrently with consumption under a bounded
+  /// result-page buffer.
+  Result<ResultSet> QueryStream(const std::string& sql);
+  Result<ResultSet> ExecuteStream(const PreparedStatement& stmt,
+                                  const std::vector<Value>& values = {});
+
+  /// Asynchronous submission through the engine's admission-control
+  /// scheduler: at most EngineOptions::async_slots submitted queries run
+  /// concurrently, dispatched in priority-weighted (stride) order across
+  /// sessions. The handle is future-like: Wait / TryPoll / Cancel.
+  QueryHandle SubmitAsync(const std::string& sql);
+  QueryHandle SubmitAsync(const PreparedStatement& stmt,
+                          const std::vector<Value>& values = {});
+
+  /// Cancels this session's in-flight work: queued async queries are
+  /// dequeued, running ones are interrupted, open cursors are cancelled
+  /// (their ResultSet objects stay owned by the caller and report "query
+  /// cancelled"). Waits for async queries to settle. Idempotent.
+  void Close();
+
+ public:
+  /// Opaque session state (defined in the session implementation).
+  struct State;
+
+ private:
+  friend class HiqueEngine;
+  friend struct SessionImpl;
+  std::shared_ptr<State> state_;
 };
 
 /// HIQUE: the holistic integrated query engine (paper §IV, Fig. 2).
@@ -167,8 +385,17 @@ class HiqueEngine {
     return static_cast<uint32_t>(threads);
   }
 
+  /// Opens a client session with per-session defaults/overrides. Sessions
+  /// are the full client API (blocking, streaming, async); the engine-level
+  /// Query/Execute below are conveniences that run on an internal default
+  /// session. Sessions must be closed (or dropped) before the engine is
+  /// destroyed.
+  Session OpenSession(SessionOptions options = {});
+
   /// Evaluates one SELECT statement end to end. SQL containing `?`
-  /// placeholders must go through Prepare/Execute instead.
+  /// placeholders must go through Prepare/Execute instead. Implemented as
+  /// open-stream + drain on the default session; results are bit-identical
+  /// to the streaming path.
   Result<QueryResult> Query(const std::string& sql);
 
   /// Same, with per-query planner overrides (used by the benchmarks to pin
@@ -177,6 +404,15 @@ class HiqueEngine {
   /// artefacts are deleted after execution unless keep_source is set.
   Result<QueryResult> QueryWithPlanner(const std::string& sql,
                                        const plan::PlannerOptions& planner);
+
+  /// Convenience: SubmitAsync on the default session.
+  QueryHandle SubmitAsync(const std::string& sql);
+
+  /// Drains/undrains the async admission scheduler: while paused,
+  /// submitted queries queue up (in stride order) without dispatching.
+  /// Used for maintenance windows and deterministic scheduling tests.
+  void PauseAdmission();
+  void ResumeAdmission();
 
   /// Parses, optimizes and compiles `sql` once, binding `?` placeholders to
   /// parameter-table slots (types inferred from their comparison/arithmetic
@@ -204,6 +440,8 @@ class HiqueEngine {
   void WaitForTierUpgrades();
 
  private:
+  friend struct SessionImpl;
+
   struct CacheEntry {
     std::shared_ptr<exec::CompiledLibrary> library;
     std::list<std::string>::iterator lru_pos;  // into lru_ (front = hottest)
@@ -220,14 +458,25 @@ class HiqueEngine {
     std::weak_ptr<exec::CompiledLibrary> origin;
   };
 
-  Result<QueryResult> Run(const std::string& sql,
-                          const plan::PlannerOptions& planner,
-                          bool cacheable);
-
-  /// Parses/optimizes/parameterizes into a prepared state; `force_hybrid_agg`
-  /// is the stale-statistics fallback used when map aggregation overflowed.
+  /// Parses/optimizes/parameterizes/compiles into a prepared state — the
+  /// one front half shared by every evaluation path (blocking, streaming,
+  /// async, prepared). `force_hybrid_agg` is the stale-statistics fallback
+  /// used when map aggregation overflowed; `allow_placeholders` is false
+  /// for direct Query paths (`?` requires Prepare/Execute). The plan
+  /// signature is prefixed with the catalog statistics version, so a stats
+  /// refresh re-keys the cache and stale compiled libraries age out by LRU
+  /// instead of being served.
   Result<std::shared_ptr<const PreparedStatement::State>> PrepareState(
-      const std::string& sql, bool force_hybrid_agg);
+      const std::string& sql, const plan::PlannerOptions& planner,
+      bool cacheable, bool force_hybrid_agg, bool allow_placeholders);
+
+  /// Stale-statistics repair: after a map-overflow restart succeeded, alias
+  /// the working hybrid-aggregation library under the overflowing plan's
+  /// signature so repeats skip the doomed execution (requires identical
+  /// parameter-bank layouts).
+  void InstallOverflowAlias(const std::string& failed_signature,
+                            const plan::ParamTable& failed_params,
+                            const PreparedStatement::State& fallback);
 
   /// Generates + compiles `plan` at `opt_level` and loads the library.
   Result<std::shared_ptr<exec::CompiledLibrary>> CompilePlan(
@@ -259,8 +508,8 @@ class HiqueEngine {
   void TierWorkerLoop();
   hique::CacheStats StatsSnapshotLocked() const;
 
-  /// Parallelism wiring handed to every execution of this engine.
-  exec::ParallelRuntime ParallelFor() const;
+  /// Lazily creates the admission controller (first SubmitAsync).
+  exec::AdmissionController* admission();
 
   Catalog* catalog_;
   EngineOptions options_;
@@ -285,6 +534,15 @@ class HiqueEngine {
   bool shutdown_ = false;
 
   std::atomic<uint64_t> next_query_id_{0};
+
+  // Admission-control scheduler for SubmitAsync (lazily created, guarded
+  // by admission_mu_; destroyed — queued jobs settled as cancelled, runner
+  // threads joined — at the top of ~HiqueEngine, before the worker pool).
+  std::mutex admission_mu_;
+  std::unique_ptr<exec::AdmissionController> admission_;
+
+  // The session behind the engine-level Query/Execute conveniences.
+  Session default_session_;
 };
 
 }  // namespace hique

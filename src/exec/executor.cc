@@ -23,12 +23,22 @@ static_assert(sizeof(HqPage) == sizeof(Page),
 namespace {
 
 constexpr const char* kMapOverflowMsg = "map aggregation directory overflow";
+constexpr const char* kCancelledMsg = "query cancelled";
 
-struct ResultSink {
-  std::vector<Page*> pages;
+/// The streaming result sink behind ctx->result_new_page. The generated
+/// code fills one page at a time and only requests the next page after
+/// setting num_tuples on the current one, so the previous page is complete
+/// (and immutable) the moment a new one is requested — that is when it is
+/// handed to the consumer. The final page is delivered by the executor
+/// after the entry returns (hq_result_close sealed it).
+struct StreamSink {
+  const ResultPageFn* on_page = nullptr;
+  HqQueryCtx* ctx = nullptr;
+  Page* current = nullptr;
 
   static HqPage* NewPage(void* self) {
-    auto* sink = static_cast<ResultSink*>(self);
+    auto* sink = static_cast<StreamSink*>(self);
+    if (!sink->Flush()) return nullptr;
     void* mem = nullptr;
     if (posix_memalign(&mem, kPageSize, kPageSize) != 0 || mem == nullptr) {
       return nullptr;
@@ -38,13 +48,27 @@ struct ResultSink {
     // never carry heap garbage, so result pages are byte-deterministic
     // (parallel runs compare bit-identical to serial ones).
     std::memset(page, 0, kPageSize);
-    sink->pages.push_back(page);
+    sink->current = page;
     return reinterpret_cast<HqPage*>(page);
   }
 
-  void FreeAll() {
-    for (Page* p : pages) std::free(p);
-    pages.clear();
+  /// Hands the completed current page to the consumer. False when the
+  /// consumer declined it (closed cursor): the cancellation is recorded in
+  /// the query context so the generated code unwinds cleanly.
+  bool Flush() {
+    if (current == nullptr) return true;
+    Page* page = current;
+    current = nullptr;
+    if (!(*on_page)(page)) {  // ownership passed regardless of the verdict
+      if (ctx->error == HQ_OK) ctx->error = HQ_ERR_CANCELLED;
+      return false;
+    }
+    return true;
+  }
+
+  void DiscardCurrent() {
+    std::free(current);
+    current = nullptr;
   }
 };
 
@@ -69,6 +93,15 @@ struct ParallelService {
   WorkerPool* pool = nullptr;
   HqWorkerCtx* workers = nullptr;
   uint32_t num_workers = 1;
+  const std::atomic<int32_t>* cancel = nullptr;
+  int priority = 0;
+
+  /// Task-granular cancellation: checked before each task runs, so a
+  /// cancelled query abandons the rest of an in-flight barrier through the
+  /// sticky-error path instead of finishing it.
+  bool Cancelled() const {
+    return cancel != nullptr && cancel->load(std::memory_order_acquire) != 0;
+  }
 
   static int32_t Invoke(void* self, HqQueryCtx* ctx, uint32_t num_tasks,
                         HqTaskFn fn, void* arg) {
@@ -78,6 +111,11 @@ struct ParallelService {
     if (s->pool == nullptr || s->num_workers <= 1 || num_tasks == 1) {
       HqWorkerCtx* w = &s->workers[0];
       for (uint32_t t = 0; t < num_tasks; ++t) {
+        if (s->Cancelled()) {
+          w->error = HQ_ERR_CANCELLED;
+          completed = false;
+          break;
+        }
         if (fn(ctx, w, t, arg) != 0) {
           completed = false;
           break;
@@ -85,13 +123,19 @@ struct ParallelService {
       }
     } else {
       completed = s->pool->ParallelFor(
-          num_tasks, [&](uint32_t slot, uint32_t task) -> int32_t {
+          num_tasks,
+          [&](uint32_t slot, uint32_t task) -> int32_t {
             // One context per executor slot — aliasing two threads onto
             // one arena would be silent corruption, so fail loudly.
             HQ_CHECK_MSG(slot < s->num_workers,
                          "executor slot exceeds worker contexts");
+            if (s->Cancelled()) {
+              s->workers[slot].error = HQ_ERR_CANCELLED;
+              return HQ_ERR_CANCELLED;
+            }
             return fn(ctx, &s->workers[slot], task, arg);
-          });
+          },
+          s->priority);
     }
     int32_t err = HQ_OK;
     for (uint32_t i = 0; i < s->num_workers; ++i) {
@@ -117,6 +161,10 @@ struct ParallelService {
 
 bool IsMapOverflow(const Status& status) {
   return !status.ok() && status.message() == kMapOverflowMsg;
+}
+
+bool IsCancelled(const Status& status) {
+  return !status.ok() && status.message() == kCancelledMsg;
 }
 
 namespace {
@@ -217,10 +265,12 @@ Result<std::unique_ptr<Table>> ExecuteLibraryOnTables(
                               par);
 }
 
-Result<std::unique_ptr<Table>> ExecuteEntryOnTables(
-    const std::vector<Table*>& tables, const Schema& output_schema,
-    HqEntryFn entry, const HqParams* params, ExecStats* stats,
-    const ParallelRuntime& par) {
+Result<int64_t> ExecuteEntryStreaming(const std::vector<Table*>& tables,
+                                      const Schema& output_schema,
+                                      HqEntryFn entry, const HqParams* params,
+                                      ExecStats* stats,
+                                      const ParallelRuntime& par,
+                                      const ResultPageFn& on_page) {
   // Pin every base table in memory (main-memory execution, paper §VI).
   std::vector<PinnedPages> pinned(tables.size());
   std::vector<std::vector<uint8_t*>> page_ptrs(tables.size());
@@ -262,8 +312,9 @@ Result<std::unique_ptr<Table>> ExecuteEntryOnTables(
   par_service.pool = par.pool;
   par_service.workers = workers.data();
   par_service.num_workers = num_workers;
+  par_service.cancel = par.cancel;
+  par_service.priority = par.priority;
 
-  ResultSink sink;
   const Schema& out_schema = output_schema;
 
   static const HqParams kNoParams = {nullptr, nullptr, nullptr, 0, 0, 0};
@@ -274,26 +325,41 @@ Result<std::unique_ptr<Table>> ExecuteEntryOnTables(
   ctx.num_inputs = static_cast<uint32_t>(refs.size());
   ctx.alloc = &Arena::AllocCallback;
   ctx.arena = &arena;
-  ctx.result_new_page = &ResultSink::NewPage;
-  ctx.result_sink = &sink;
   ctx.result_tuple_size = out_schema.TupleSize();
   ctx.result_tuples_per_page = Page::TuplesPerPage(out_schema.TupleSize());
   ctx.parallel_for = &ParallelService::Invoke;
-  ctx.scheduler = &par_service;
   ctx.num_workers = num_workers;
+  // std::atomic<int32_t> is layout-compatible with the plain int32_t the
+  // generated (uninstrumented) code polls; the engine side always accesses
+  // it atomically.
+  static_assert(sizeof(std::atomic<int32_t>) == sizeof(int32_t),
+                "cancel flag must be readable as a plain int32");
+  ctx.cancel =
+      reinterpret_cast<const volatile int32_t*>(par.cancel);
+
+  StreamSink sink;
+  sink.on_page = &on_page;
+  sink.ctx = &ctx;
+  ctx.result_new_page = &StreamSink::NewPage;
+  ctx.result_sink = &sink;
+  ctx.scheduler = &par_service;
 
   WallTimer timer;
   int64_t rows = entry(&ctx, ctx.params);
   double elapsed = timer.ElapsedSeconds();
 
   if (rows < 0 || ctx.error != HQ_OK) {
-    sink.FreeAll();
+    sink.DiscardCurrent();
     switch (ctx.error) {
       case HQ_ERR_MAP_OVERFLOW:
         return Status::ExecError(kMapOverflowMsg);
       case HQ_ERR_OOM:
         return Status::ExecError("generated code ran out of memory");
       case HQ_ERR_CANCELLED:
+        if (par.cancel != nullptr &&
+            par.cancel->load(std::memory_order_acquire) != 0) {
+          return Status::ExecError(kCancelledMsg);
+        }
         return Status::ExecError(
             "a parallel task failed; the query was cancelled");
       default:
@@ -301,6 +367,9 @@ Result<std::unique_ptr<Table>> ExecuteEntryOnTables(
                                  std::to_string(ctx.error));
     }
   }
+
+  // Hand over the final page (hq_result_close sealed its tuple count).
+  if (!sink.Flush()) return Status::ExecError(kCancelledMsg);
 
   if (stats != nullptr) {
     stats->rows = rows;
@@ -314,20 +383,27 @@ Result<std::unique_ptr<Table>> ExecuteEntryOnTables(
     }
     stats->threads = num_workers;
   }
+  return rows;
+}
 
-  auto result = std::make_unique<Table>("result", out_schema);
-  for (size_t i = 0; i < sink.pages.size(); ++i) {
-    Status s = result->AdoptPage(sink.pages[i]);
-    if (!s.ok()) {
-      // Pages [0, i) now belong to the table; free only the rest.
-      for (size_t j = i; j < sink.pages.size(); ++j) {
-        std::free(sink.pages[j]);
-      }
-      sink.pages.clear();
-      return s;
+Result<std::unique_ptr<Table>> ExecuteEntryOnTables(
+    const std::vector<Table*>& tables, const Schema& output_schema,
+    HqEntryFn entry, const HqParams* params, ExecStats* stats,
+    const ParallelRuntime& par) {
+  auto result = std::make_unique<Table>("result", output_schema);
+  Status adopt_status;
+  auto on_page = [&](Page* page) {
+    adopt_status = result->AdoptPage(page);
+    if (!adopt_status.ok()) {
+      std::free(page);
+      return false;  // cancel the rest of the query
     }
-  }
-  sink.pages.clear();  // ownership transferred
+    return true;
+  };
+  auto rows = ExecuteEntryStreaming(tables, output_schema, entry, params,
+                                    stats, par, on_page);
+  if (!adopt_status.ok()) return adopt_status;
+  if (!rows.ok()) return rows.status();
   return result;
 }
 

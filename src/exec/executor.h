@@ -1,6 +1,8 @@
 #ifndef HIQUE_EXEC_EXECUTOR_H_
 #define HIQUE_EXEC_EXECUTOR_H_
 
+#include <atomic>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -34,12 +36,25 @@ struct ExecStats {
 struct ParallelRuntime {
   WorkerPool* pool = nullptr;      // null => hq_parallel_for runs serially
   uint64_t arena_limit_bytes = 0;  // shared scratch budget (0 = unlimited)
+  // Cooperative cancellation flag: when set nonzero by the client, the
+  // execution unwinds with a "query cancelled" error — the scheduler checks
+  // it before every parallel task (remaining tasks cancel through the
+  // HqWorkerCtx sticky-error path) and generated code polls it at operator
+  // and result-page boundaries. Null = not cancellable.
+  const std::atomic<int32_t>* cancel = nullptr;
+  // Worker-pool priority of this execution's barriers: when concurrent
+  // queries contend for pool threads, higher-priority jobs drain first.
+  int priority = 0;
 };
 
 /// Returns true when the failure is the map-aggregation directory overflow
 /// signal (stale statistics); the engine reacts by re-planning with hybrid
 /// aggregation.
 bool IsMapOverflow(const Status& status);
+
+/// Returns true when the failure is a client-requested cancellation
+/// (ParallelRuntime::cancel flag, closed cursor, QueryHandle::Cancel).
+bool IsCancelled(const Status& status);
 
 /// The runtime materialization of a plan's ParamTable: owning storage for
 /// the banks plus the ABI view handed to generated code. The abi pointers
@@ -90,6 +105,25 @@ Result<std::unique_ptr<Table>> ExecuteEntryOnTables(
     const std::vector<Table*>& tables, const Schema& output_schema,
     HqEntryFn entry, const HqParams* params, ExecStats* stats,
     const ParallelRuntime& par = {});
+
+/// Receives ownership of one completed, zeroed, page-aligned result page
+/// (free with std::free, or hand to Table::AdoptPage). Invoked on the
+/// executing thread, in emission order. Return false to cancel the query:
+/// the executor records HQ_ERR_CANCELLED and the generated code unwinds.
+using ResultPageFn = std::function<bool(Page*)>;
+
+/// The streaming execution core: pins the base tables, runs the compiled
+/// entry, and hands each result page to `on_page` as soon as the generated
+/// code completes it — the full result is never materialized inside the
+/// executor, so peak result memory is the pages the consumer holds plus the
+/// single page being filled. Returns the row count. All other Execute*
+/// entry points are wrappers that collect the delivered pages into a Table.
+Result<int64_t> ExecuteEntryStreaming(const std::vector<Table*>& tables,
+                                      const Schema& output_schema,
+                                      HqEntryFn entry, const HqParams* params,
+                                      ExecStats* stats,
+                                      const ParallelRuntime& par,
+                                      const ResultPageFn& on_page);
 
 }  // namespace hique::exec
 

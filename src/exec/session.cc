@@ -1,0 +1,860 @@
+// The session layer: Session / ResultSet / QueryHandle implementations plus
+// the HiqueEngine client-facing wrappers built on them. The blocking
+// Query/Execute APIs are open-stream + drain over the same streaming
+// machinery the cursors use, so every path shares one execution pipeline
+// and the materialized and streamed results are bit-identical by
+// construction.
+
+#include <algorithm>
+#include <cstdlib>
+#include <utility>
+
+#include "exec/session_internal.h"
+#include "util/macros.h"
+
+namespace hique {
+
+// ---- StreamCore ------------------------------------------------------------
+
+bool StreamCore::Push(Page* page) {
+  std::unique_lock<std::mutex> lk(mu);
+  cv.wait(lk, [&] { return closed || queue.size() < capacity; });
+  if (closed) {
+    lk.unlock();
+    std::free(page);
+    return false;
+  }
+  queue.push_back(page);
+  ++pages_delivered;
+  // Peak residency: buffered pages + the page the producer fills next +
+  // the page the consumer holds.
+  uint32_t resident = static_cast<uint32_t>(queue.size()) + 2;
+  if (resident > peak_resident) peak_resident = resident;
+  cv.notify_all();
+  return true;
+}
+
+void StreamCore::Finish(Status status, int64_t row_count,
+                        const exec::ExecStats& s) {
+  {
+    std::lock_guard<std::mutex> lk(mu);
+    final_status = std::move(status);
+    rows = row_count;
+    stats = s;
+    finished = true;
+  }
+  cv.notify_all();
+}
+
+Page* StreamCore::Pop() {
+  std::unique_lock<std::mutex> lk(mu);
+  cv.wait(lk, [&] { return !queue.empty() || finished || closed; });
+  if (!queue.empty()) {
+    Page* page = queue.front();
+    queue.pop_front();
+    cv.notify_all();  // wake a producer blocked on the capacity bound
+    return page;
+  }
+  return nullptr;
+}
+
+void StreamCore::CancelAndClose() {
+  cancel_flag->store(1, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> lk(mu);
+    closed = true;
+  }
+  cv.notify_all();
+}
+
+// ---- SessionImpl -----------------------------------------------------------
+
+namespace {
+
+Status SessionClosedError() {
+  return Status::ExecError("session is closed");
+}
+
+Status CancelledError() { return Status::ExecError("query cancelled"); }
+
+}  // namespace
+
+/// Registers a stream's handoff core with its session so Close() can cancel
+/// it; fails when the session has been closed.
+Status SessionImpl::RegisterStream(
+    const std::shared_ptr<Session::State>& session,
+    const std::shared_ptr<StreamCore>& core) {
+  std::lock_guard<std::mutex> lk(session->mu);
+  if (session->closed) return SessionClosedError();
+  auto& streams = session->streams;
+  streams.erase(std::remove_if(streams.begin(), streams.end(),
+                               [](const std::weak_ptr<StreamCore>& w) {
+                                 return w.expired();
+                               }),
+                streams.end());
+  streams.push_back(core);
+  return Status::OK();
+}
+
+void SessionImpl::FillStreamMeta(ResultSet::Stream* s) {
+  s->schema = s->state->plan->output_schema;
+  s->tuple_size = s->schema.TupleSize();
+  s->plan_signature = s->state->signature;
+  s->plan_text = s->state->plan_text;
+  s->opt_level = s->library->opt_level();
+  s->source_bytes = s->library->compiled().source_bytes;
+  s->library_bytes = s->library->compiled().library_bytes;
+  if (s->engine->options().keep_source) {
+    s->generated_source = s->library->source();
+  }
+}
+
+exec::ParallelRuntime SessionImpl::RuntimeFor(const Session::State& s,
+                                              std::atomic<int32_t>* cancel) {
+  exec::ParallelRuntime par;
+  par.pool =
+      s.options.threads == 1 ? nullptr : s.engine->worker_pool_.get();
+  par.arena_limit_bytes =
+      s.options.arena_limit_bytes == SessionOptions::kInheritArenaLimit
+          ? s.engine->options().arena_limit_bytes
+          : s.options.arena_limit_bytes;
+  par.cancel = cancel;
+  par.priority = s.options.priority;
+  return par;
+}
+
+Status SessionImpl::Launch(ResultSet::Stream* s) {
+  if (s->is_execute) {
+    HQ_RETURN_IF_ERROR(
+        exec::BindParamValues(s->state->plan->params, s->values, &s->bound));
+  } else {
+    exec::BindParams(s->state->plan->params, &s->bound);
+  }
+  s->core = std::make_shared<StreamCore>(s->session->stream_buffer_pages);
+  if (s->external_cancel != nullptr) s->core->cancel_flag = s->external_cancel;
+  s->par = RuntimeFor(*s->session, nullptr);
+  s->par.cancel = s->core->cancel_flag;
+  HQ_RETURN_IF_ERROR(RegisterStream(s->session, s->core));
+
+  ResultSet::Stream* raw = s;
+  std::shared_ptr<StreamCore> core = s->core;
+  s->producer = std::thread([raw, core] {
+    exec::ExecStats stats;
+    auto rows = exec::ExecuteEntryStreaming(
+        raw->state->plan->query->tables, raw->state->plan->output_schema,
+        raw->library->entry(), &raw->bound.abi, &stats, raw->par,
+        [&core](Page* page) { return core->Push(page); });
+    if (rows.ok()) {
+      core->Finish(Status::OK(), rows.value(), stats);
+    } else {
+      core->Finish(rows.status(), 0, stats);
+    }
+  });
+  return Status::OK();
+}
+
+/// Map-overflow replan: swap the stream onto the hybrid-aggregation
+/// fallback plan. Query paths remember the doomed plan's signature so the
+/// working library can be aliased under it on success; Execute paths cache
+/// the fallback state inside the prepared statement (shared by all its
+/// executions), exactly as the pre-streaming Execute retry did.
+Status SessionImpl::ReplanHybrid(ResultSet::Stream* s) {
+  HiqueEngine* engine = s->engine;
+  if (s->is_execute) {
+    std::shared_ptr<const PreparedStatement::State> next;
+    {
+      std::lock_guard<std::mutex> lk(s->state->fallback_mu);
+      if (s->state->fallback == nullptr) {
+        auto fallback = SessionImpl::PrepareFallback(engine, *s->state);
+        if (!fallback.ok()) return fallback.status();
+        s->state->fallback = std::move(fallback).value();
+      }
+      next = s->state->fallback;
+    }
+    s->state = std::move(next);
+    std::shared_ptr<exec::CompiledLibrary> library =
+        SessionImpl::CurrentLibrary(engine, *s->state);
+    s->library = std::move(library);
+  } else {
+    s->failed_signature = s->state->signature;
+    s->failed_params = s->state->plan->params;
+    auto fallback =
+        SessionImpl::PrepareQueryState(engine, s->sql, s->planner,
+                                       s->cacheable, /*force_hybrid=*/true);
+    if (!fallback.ok()) return fallback.status();
+    s->state = std::move(fallback).value();
+    s->library = s->state->library;
+    s->cache_hit = s->state->cache_hit;
+    s->timings = s->state->prepare_timings;
+  }
+  FillStreamMeta(s);
+  return Status::OK();
+}
+
+Status SessionImpl::RestartWithHybrid(ResultSet::Stream* s) {
+  HQ_RETURN_IF_ERROR(ReplanHybrid(s));
+  return SessionImpl::Launch(s);
+}
+
+QueryResult SessionImpl::AssembleResult(ResultSet::Stream* s,
+                                        std::unique_ptr<Table> table) {
+  QueryResult result;
+  result.schema = table->schema();
+  result.table = std::move(table);
+  result.timings = s->timings;
+  result.source_bytes = s->source_bytes;
+  result.library_bytes = s->library_bytes;
+  result.generated_source = s->generated_source;
+  result.plan_text = s->plan_text;
+  result.plan_signature = s->plan_signature;
+  result.cache_hit = s->cache_hit;
+  result.library_opt_level = s->opt_level;
+  result.exec_stats = s->stats;
+  result.cache_stats = s->engine->CacheStats();
+  return result;
+}
+
+Page* SessionImpl::PullPage(ResultSet::Stream* s) {
+  if (s->done) return nullptr;
+  for (;;) {
+    Page* page = s->core->Pop();
+    if (page != nullptr) return page;
+    // End of stream: collect the outcome under the core lock.
+    if (s->producer.joinable()) s->producer.join();
+    Status status;
+    exec::ExecStats stats;
+    uint64_t delivered;
+    uint32_t peak;
+    {
+      std::lock_guard<std::mutex> lk(s->core->mu);
+      status = s->core->final_status;
+      stats = s->core->stats;
+      delivered = s->core->pages_delivered;
+      peak = s->core->peak_resident;
+    }
+    if (peak > s->stats_peak_pages) s->stats_peak_pages = peak;
+    if (status.ok()) {
+      s->stats = stats;
+      s->timings.execute_ms = s->exec_timer.ElapsedMillis();
+      s->done = true;
+      s->end_status = Status::OK();
+      if (s->restarted && !s->is_execute) {
+        s->engine->InstallOverflowAlias(s->failed_signature, s->failed_params,
+                                        *s->state);
+      }
+      return nullptr;
+    }
+    if (exec::IsMapOverflow(status) && !s->restarted && delivered == 0) {
+      // Stale statistics: directories overflowed before any page was
+      // emitted. Re-plan with hybrid aggregation and retry once.
+      s->restarted = true;
+      Status restart = RestartWithHybrid(s);
+      if (restart.ok()) continue;
+      status = restart;
+    }
+    s->stats = stats;
+    s->timings.execute_ms = s->exec_timer.ElapsedMillis();
+    s->done = true;
+    s->end_status = std::move(status);
+    return nullptr;
+  }
+}
+
+Result<std::shared_ptr<const PreparedStatement::State>>
+SessionImpl::PrepareQueryState(HiqueEngine* engine, const std::string& sql,
+                               const plan::PlannerOptions& planner,
+                               bool cacheable, bool force_hybrid) {
+  return engine->PrepareState(sql, planner, cacheable, force_hybrid,
+                              /*allow_placeholders=*/false);
+}
+
+Result<std::shared_ptr<const PreparedStatement::State>>
+SessionImpl::PrepareFallback(HiqueEngine* engine,
+                             const PreparedStatement::State& state) {
+  return engine->PrepareState(state.sql, state.planner, state.cacheable,
+                              /*force_hybrid_agg=*/true,
+                              /*allow_placeholders=*/true);
+}
+
+Result<PreparedStatement> SessionImpl::Prepare(
+    HiqueEngine* engine, const std::string& sql,
+    const plan::PlannerOptions& planner) {
+  HQ_ASSIGN_OR_RETURN(
+      auto state,
+      engine->PrepareState(sql, planner, engine->options().cache_compiled,
+                           /*force_hybrid_agg=*/false,
+                           /*allow_placeholders=*/true));
+  PreparedStatement prepared;
+  prepared.state_ = std::move(state);
+  return prepared;
+}
+
+std::shared_ptr<exec::CompiledLibrary> SessionImpl::CurrentLibrary(
+    HiqueEngine* engine, const PreparedStatement::State& state) {
+  // Prefer the cache's current library for this signature: the background
+  // worker may have swapped in the -O2 tier since Prepare. The statement's
+  // pinned library is the eviction-proof fallback.
+  std::shared_ptr<exec::CompiledLibrary> library =
+      engine->PeekLibrary(state.signature);
+  if (library == nullptr) library = state.library;
+  return library;
+}
+
+Result<std::unique_ptr<ResultSet::Stream>> SessionImpl::BuildQueryStream(
+    HiqueEngine* engine, const std::shared_ptr<Session::State>& session,
+    const std::string& sql, const plan::PlannerOptions& planner,
+    bool cacheable, std::atomic<int32_t>* external_cancel) {
+  auto stream = std::make_unique<ResultSet::Stream>();
+  stream->engine = engine;
+  stream->session = session;
+  stream->sql = sql;
+  stream->planner = planner;
+  stream->cacheable = cacheable;
+  stream->external_cancel = external_cancel;
+  HQ_ASSIGN_OR_RETURN(stream->state,
+                      PrepareQueryState(engine, sql, planner, cacheable,
+                                        /*force_hybrid=*/false));
+  stream->library = stream->state->library;
+  stream->cache_hit = stream->state->cache_hit;
+  stream->timings = stream->state->prepare_timings;
+  FillStreamMeta(stream.get());
+  stream->exec_timer.Restart();
+  return stream;
+}
+
+Result<std::unique_ptr<ResultSet::Stream>> SessionImpl::BuildExecuteStream(
+    HiqueEngine* engine, const std::shared_ptr<Session::State>& session,
+    const PreparedStatement& stmt, const std::vector<Value>& values,
+    std::atomic<int32_t>* external_cancel) {
+  if (!stmt.valid()) {
+    return Status::BindError(
+        "invalid (default-constructed) PreparedStatement");
+  }
+  auto stream = std::make_unique<ResultSet::Stream>();
+  stream->engine = engine;
+  stream->session = session;
+  stream->is_execute = true;
+  stream->values = values;
+  stream->external_cancel = external_cancel;
+  stream->state = stmt.state_;
+  {
+    // A previous execution already hit the map-overflow fallback (stale
+    // statistics): start there, skipping the known-doomed map plan.
+    std::lock_guard<std::mutex> lk(stmt.state_->fallback_mu);
+    if (stmt.state_->fallback != nullptr) stream->state = stmt.state_->fallback;
+  }
+  stream->library = CurrentLibrary(engine, *stream->state);
+  stream->cache_hit = true;  // Execute never generates or compiles
+  FillStreamMeta(stream.get());
+  stream->exec_timer.Restart();
+  return stream;
+}
+
+Result<ResultSet> SessionImpl::OpenQueryStream(
+    HiqueEngine* engine, const std::shared_ptr<Session::State>& session,
+    const std::string& sql, const plan::PlannerOptions& planner,
+    bool cacheable, std::atomic<int32_t>* external_cancel) {
+  HQ_ASSIGN_OR_RETURN(auto stream,
+                      BuildQueryStream(engine, session, sql, planner,
+                                       cacheable, external_cancel));
+  HQ_RETURN_IF_ERROR(Launch(stream.get()));
+  ResultSet rs;
+  rs.stream_ = std::move(stream);
+  return rs;
+}
+
+Result<ResultSet> SessionImpl::OpenExecuteStream(
+    HiqueEngine* engine, const std::shared_ptr<Session::State>& session,
+    const PreparedStatement& stmt, const std::vector<Value>& values,
+    std::atomic<int32_t>* external_cancel) {
+  HQ_ASSIGN_OR_RETURN(auto stream,
+                      BuildExecuteStream(engine, session, stmt, values,
+                                         external_cancel));
+  HQ_RETURN_IF_ERROR(Launch(stream.get()));
+  ResultSet rs;
+  rs.stream_ = std::move(stream);
+  return rs;
+}
+
+Result<QueryResult> SessionImpl::DrainInline(ResultSet::Stream* s) {
+  // The blocking fast path: no producer thread, no handoff queue — the
+  // executor's page callback adopts pages straight into the result table
+  // on the calling thread. Semantics (pipeline, restart, metadata) are
+  // identical to the cursor path; a cursor is only worth its thread when
+  // the client actually overlaps consumption with execution.
+  {
+    std::lock_guard<std::mutex> lk(s->session->mu);
+    if (s->session->closed) return SessionClosedError();
+  }
+  for (;;) {
+    if (s->is_execute) {
+      HQ_RETURN_IF_ERROR(
+          exec::BindParamValues(s->state->plan->params, s->values, &s->bound));
+    } else {
+      exec::BindParams(s->state->plan->params, &s->bound);
+    }
+    s->par = RuntimeFor(*s->session, s->external_cancel);
+
+    auto table = std::make_unique<Table>("result", s->schema);
+    Status adopt = Status::OK();
+    auto on_page = [&](Page* page) {
+      adopt = table->AdoptPage(page);
+      if (!adopt.ok()) {
+        std::free(page);
+        return false;
+      }
+      return true;
+    };
+    exec::ExecStats stats;
+    auto rows = exec::ExecuteEntryStreaming(
+        s->state->plan->query->tables, s->state->plan->output_schema,
+        s->library->entry(), &s->bound.abi, &stats, s->par, on_page);
+    if (!adopt.ok()) return adopt;
+    if (!rows.ok()) {
+      if (exec::IsMapOverflow(rows.status()) && !s->restarted) {
+        // Stale statistics: re-plan with hybrid aggregation, retry once.
+        s->restarted = true;
+        HQ_RETURN_IF_ERROR(ReplanHybrid(s));
+        continue;
+      }
+      return rows.status();
+    }
+    s->stats = stats;
+    s->timings.execute_ms = s->exec_timer.ElapsedMillis();
+    if (s->restarted && !s->is_execute) {
+      s->engine->InstallOverflowAlias(s->failed_signature, s->failed_params,
+                                      *s->state);
+    }
+    return AssembleResult(s, std::move(table));
+  }
+}
+
+Result<QueryResult> SessionImpl::BlockingQuery(
+    HiqueEngine* engine, const std::shared_ptr<Session::State>& session,
+    const std::string& sql, const plan::PlannerOptions& planner,
+    bool cacheable, std::atomic<int32_t>* external_cancel) {
+  HQ_ASSIGN_OR_RETURN(auto stream,
+                      BuildQueryStream(engine, session, sql, planner,
+                                       cacheable, external_cancel));
+  return DrainInline(stream.get());
+}
+
+Result<QueryResult> SessionImpl::BlockingExecute(
+    HiqueEngine* engine, const std::shared_ptr<Session::State>& session,
+    const PreparedStatement& stmt, const std::vector<Value>& values,
+    std::atomic<int32_t>* external_cancel) {
+  HQ_ASSIGN_OR_RETURN(auto stream,
+                      BuildExecuteStream(engine, session, stmt, values,
+                                         external_cancel));
+  return DrainInline(stream.get());
+}
+
+void SessionImpl::SettleCancelled(
+    const std::shared_ptr<QueryHandle::AsyncState>& s) {
+  {
+    std::lock_guard<std::mutex> lk(s->mu);
+    if (s->done) return;
+    s->result = std::make_unique<Result<QueryResult>>(CancelledError());
+    s->done = true;
+  }
+  s->cv.notify_all();
+}
+
+QueryHandle SessionImpl::Submit(
+    HiqueEngine* engine, const std::shared_ptr<Session::State>& session,
+    std::function<Result<QueryResult>(std::atomic<int32_t>*)> run) {
+  auto state = std::make_shared<QueryHandle::AsyncState>();
+  state->controller = engine->admission();
+  {
+    std::lock_guard<std::mutex> lk(session->mu);
+    auto& asyncs = session->asyncs;
+    asyncs.erase(
+        std::remove_if(asyncs.begin(), asyncs.end(),
+                       [](const std::weak_ptr<QueryHandle::AsyncState>& w) {
+                         return w.expired();
+                       }),
+        asyncs.end());
+    asyncs.push_back(state);
+    if (session->closed) {
+      SettleCancelled(state);
+      QueryHandle handle;
+      handle.state_ = std::move(state);
+      return handle;
+    }
+  }
+  auto job = [state, run = std::move(run)](uint64_t seq, bool cancelled) {
+    if (cancelled || state->cancel.load(std::memory_order_acquire) != 0) {
+      SettleCancelled(state);
+      return;
+    }
+    state->dispatch_seq.store(seq, std::memory_order_release);
+    auto result = run(&state->cancel);
+    {
+      std::lock_guard<std::mutex> lk(state->mu);
+      if (!state->done) {
+        state->result =
+            std::make_unique<Result<QueryResult>>(std::move(result));
+        state->done = true;
+      }
+    }
+    state->cv.notify_all();
+  };
+  state->ticket = state->controller->Submit(&session->client, std::move(job));
+  QueryHandle handle;
+  handle.state_ = std::move(state);
+  return handle;
+}
+
+// ---- ResultSet -------------------------------------------------------------
+
+ResultSet::Stream::~Stream() {
+  if (core != nullptr) {
+    core->CancelAndClose();
+    if (producer.joinable()) producer.join();
+    std::lock_guard<std::mutex> lk(core->mu);
+    for (Page* p : core->queue) std::free(p);
+    core->queue.clear();
+  }
+  std::free(page);
+  page = nullptr;
+}
+
+ResultSet::ResultSet() = default;
+ResultSet::~ResultSet() = default;
+ResultSet::ResultSet(ResultSet&& other) noexcept = default;
+ResultSet& ResultSet::operator=(ResultSet&& other) noexcept = default;
+
+const Schema& ResultSet::schema() const {
+  HQ_CHECK_MSG(valid(), "accessor on an invalid ResultSet");
+  return stream_->schema;
+}
+
+bool ResultSet::Next() {
+  if (!valid()) return false;
+  Stream* s = stream_.get();
+  s->iterating = true;
+  for (;;) {
+    if (s->page != nullptr) {
+      if (s->row_valid && s->row_in_page + 1 < s->page->num_tuples) {
+        ++s->row_in_page;
+        ++s->rows_read;
+        return true;
+      }
+      if (!s->row_valid && s->page->num_tuples > 0) {
+        s->row_in_page = 0;
+        s->row_valid = true;
+        ++s->rows_read;
+        return true;
+      }
+      // Page exhausted (or defensively empty): release it.
+      std::free(s->page);
+      s->page = nullptr;
+      s->row_valid = false;
+    }
+    s->page = SessionImpl::PullPage(s);
+    if (s->page == nullptr) return false;
+  }
+}
+
+const uint8_t* ResultSet::RowBytes() const {
+  HQ_CHECK_MSG(valid() && stream_->row_valid, "no current row");
+  return stream_->page->TupleAt(stream_->row_in_page, stream_->tuple_size);
+}
+
+Value ResultSet::Get(size_t column) const {
+  return stream_->schema.GetValue(RowBytes(), column);
+}
+
+std::vector<Value> ResultSet::Row() const {
+  const uint8_t* tuple = RowBytes();
+  std::vector<Value> row;
+  row.reserve(stream_->schema.NumColumns());
+  for (size_t c = 0; c < stream_->schema.NumColumns(); ++c) {
+    row.push_back(stream_->schema.GetValue(tuple, c));
+  }
+  return row;
+}
+
+Status ResultSet::status() const {
+  if (!valid()) return Status::InvalidArgument("invalid ResultSet");
+  return stream_->end_status;
+}
+
+void ResultSet::Close() {
+  if (!valid() || stream_->core == nullptr) return;
+  Stream* s = stream_.get();
+  s->core->CancelAndClose();
+  if (s->producer.joinable()) s->producer.join();
+  {
+    std::lock_guard<std::mutex> lk(s->core->mu);
+    for (Page* p : s->core->queue) std::free(p);
+    s->core->queue.clear();
+    if (!s->done) {
+      s->done = true;
+      s->end_status = s->core->final_status.ok() ? Status::OK()
+                                                 : s->core->final_status;
+      s->stats = s->core->stats;
+      if (s->core->peak_resident > s->stats_peak_pages) {
+        s->stats_peak_pages = s->core->peak_resident;
+      }
+    }
+  }
+  std::free(s->page);
+  s->page = nullptr;
+  s->row_valid = false;
+}
+
+Result<QueryResult> ResultSet::Materialize() {
+  if (!valid()) return Status::InvalidArgument("invalid ResultSet");
+  Stream* s = stream_.get();
+  if (s->iterating) {
+    return Status::InvalidArgument(
+        "Materialize requires an unconsumed cursor (rows were already read "
+        "through Next)");
+  }
+  auto table = std::make_unique<Table>("result", s->schema);
+  for (;;) {
+    Page* page = SessionImpl::PullPage(s);
+    if (page == nullptr) break;
+    Status adopted = table->AdoptPage(page);
+    if (!adopted.ok()) {
+      std::free(page);
+      Close();
+      return adopted;
+    }
+  }
+  if (!s->end_status.ok()) return s->end_status;
+  return SessionImpl::AssembleResult(s, std::move(table));
+}
+
+const std::string& ResultSet::plan_signature() const {
+  HQ_CHECK_MSG(valid(), "accessor on an invalid ResultSet");
+  return stream_->plan_signature;
+}
+const std::string& ResultSet::plan_text() const {
+  HQ_CHECK_MSG(valid(), "accessor on an invalid ResultSet");
+  return stream_->plan_text;
+}
+const QueryTimings& ResultSet::timings() const {
+  HQ_CHECK_MSG(valid(), "accessor on an invalid ResultSet");
+  return stream_->timings;
+}
+bool ResultSet::cache_hit() const {
+  HQ_CHECK_MSG(valid(), "accessor on an invalid ResultSet");
+  return stream_->cache_hit;
+}
+int ResultSet::library_opt_level() const {
+  HQ_CHECK_MSG(valid(), "accessor on an invalid ResultSet");
+  return stream_->opt_level;
+}
+int64_t ResultSet::rows_read() const {
+  return valid() ? stream_->rows_read : 0;
+}
+uint32_t ResultSet::peak_result_pages() const {
+  if (!valid()) return 0;
+  uint32_t peak = stream_->stats_peak_pages;
+  if (stream_->core != nullptr) {
+    std::lock_guard<std::mutex> lk(stream_->core->mu);
+    if (stream_->core->peak_resident > peak) {
+      peak = stream_->core->peak_resident;
+    }
+  }
+  return peak;
+}
+const exec::ExecStats& ResultSet::exec_stats() const {
+  HQ_CHECK_MSG(valid(), "accessor on an invalid ResultSet");
+  return stream_->stats;
+}
+
+// ---- QueryHandle -----------------------------------------------------------
+
+Result<QueryResult> QueryHandle::Wait() {
+  if (!valid()) return Status::InvalidArgument("invalid QueryHandle");
+  std::unique_lock<std::mutex> lk(state_->mu);
+  state_->cv.wait(lk, [&] { return state_->done; });
+  if (state_->taken) {
+    return Status::InvalidArgument("query result was already taken");
+  }
+  state_->taken = true;
+  Result<QueryResult> result = std::move(*state_->result);
+  state_->result.reset();
+  return result;
+}
+
+bool QueryHandle::TryPoll() const {
+  if (!valid()) return false;
+  std::lock_guard<std::mutex> lk(state_->mu);
+  return state_->done;
+}
+
+void QueryHandle::Cancel() {
+  if (!valid()) return;
+  state_->cancel.store(1, std::memory_order_release);
+  if (state_->controller != nullptr &&
+      state_->controller->TryRemove(state_->ticket)) {
+    // Dequeued before dispatch: settle the promise ourselves.
+    SessionImpl::SettleCancelled(state_);
+  }
+  // Otherwise the job is running (the cancel flag interrupts it at the
+  // next cancellation point) or already done.
+}
+
+uint64_t QueryHandle::dispatch_seq() const {
+  return valid() ? state_->dispatch_seq.load(std::memory_order_acquire) : 0;
+}
+
+// ---- Session ---------------------------------------------------------------
+
+Session::~Session() = default;
+
+const SessionOptions& Session::options() const {
+  HQ_CHECK_MSG(valid(), "accessor on an invalid Session");
+  return state_->options;
+}
+
+HiqueEngine* Session::engine() const {
+  return valid() ? state_->engine : nullptr;
+}
+
+Result<QueryResult> Session::Query(const std::string& sql) {
+  if (!valid()) return Status::InvalidArgument("invalid Session");
+  return SessionImpl::BlockingQuery(state_->engine, state_, sql,
+                                    state_->planner,
+                                    state_->engine->options().cache_compiled,
+                                    nullptr);
+}
+
+Result<QueryResult> Session::Execute(const PreparedStatement& stmt,
+                                     const std::vector<Value>& values) {
+  if (!valid()) return Status::InvalidArgument("invalid Session");
+  return SessionImpl::BlockingExecute(state_->engine, state_, stmt, values,
+                                      nullptr);
+}
+
+Result<PreparedStatement> Session::Prepare(const std::string& sql) {
+  if (!valid()) return Status::InvalidArgument("invalid Session");
+  return SessionImpl::Prepare(state_->engine, sql, state_->planner);
+}
+
+Result<ResultSet> Session::QueryStream(const std::string& sql) {
+  if (!valid()) return Status::InvalidArgument("invalid Session");
+  return SessionImpl::OpenQueryStream(
+      state_->engine, state_, sql, state_->planner,
+      state_->engine->options().cache_compiled, nullptr);
+}
+
+Result<ResultSet> Session::ExecuteStream(const PreparedStatement& stmt,
+                                         const std::vector<Value>& values) {
+  if (!valid()) return Status::InvalidArgument("invalid Session");
+  return SessionImpl::OpenExecuteStream(state_->engine, state_, stmt, values,
+                                        nullptr);
+}
+
+QueryHandle Session::SubmitAsync(const std::string& sql) {
+  if (!valid()) return QueryHandle();
+  HiqueEngine* engine = state_->engine;
+  auto session = state_;
+  bool cacheable = engine->options().cache_compiled;
+  plan::PlannerOptions planner = state_->planner;
+  return SessionImpl::Submit(
+      engine, state_,
+      [engine, session, sql, planner,
+       cacheable](std::atomic<int32_t>* cancel) {
+        return SessionImpl::BlockingQuery(engine, session, sql, planner,
+                                          cacheable, cancel);
+      });
+}
+
+QueryHandle Session::SubmitAsync(const PreparedStatement& stmt,
+                                 const std::vector<Value>& values) {
+  if (!valid()) return QueryHandle();
+  HiqueEngine* engine = state_->engine;
+  auto session = state_;
+  return SessionImpl::Submit(
+      engine, state_,
+      [engine, session, stmt, values](std::atomic<int32_t>* cancel) {
+        return SessionImpl::BlockingExecute(engine, session, stmt, values,
+                                            cancel);
+      });
+}
+
+void Session::Close() {
+  if (!valid()) return;
+  std::vector<std::shared_ptr<StreamCore>> cores;
+  std::vector<std::shared_ptr<QueryHandle::AsyncState>> asyncs;
+  {
+    std::lock_guard<std::mutex> lk(state_->mu);
+    state_->closed = true;
+    for (auto& w : state_->streams) {
+      if (auto core = w.lock()) cores.push_back(std::move(core));
+    }
+    for (auto& w : state_->asyncs) {
+      if (auto a = w.lock()) asyncs.push_back(std::move(a));
+    }
+    state_->streams.clear();
+    state_->asyncs.clear();
+  }
+  // Cancel open cursors (their ResultSet owners observe "query cancelled"
+  // and join their producers on Close/destruction).
+  for (auto& core : cores) core->CancelAndClose();
+  // Cancel async submissions and wait for them to settle: queued jobs are
+  // dequeued, running ones are interrupted at their next cancellation
+  // point.
+  for (auto& a : asyncs) {
+    a->cancel.store(1, std::memory_order_release);
+    if (a->controller != nullptr && a->controller->TryRemove(a->ticket)) {
+      SessionImpl::SettleCancelled(a);
+    }
+  }
+  for (auto& a : asyncs) {
+    std::unique_lock<std::mutex> lk(a->mu);
+    a->cv.wait(lk, [&] { return a->done; });
+  }
+}
+
+// ---- HiqueEngine client-facing wrappers ------------------------------------
+
+Session HiqueEngine::OpenSession(SessionOptions options) {
+  if (options.priority < 1) options.priority = 1;
+  if (options.priority > 64) options.priority = 64;
+  auto state = std::make_shared<Session::State>();
+  state->engine = this;
+  state->options = options;
+  state->planner = options.override_planner ? options.planner
+                                            : options_.planner;
+  state->stream_buffer_pages = options.stream_buffer_pages != 0
+                                   ? options.stream_buffer_pages
+                                   : options_.stream_buffer_pages;
+  if (state->stream_buffer_pages < 1) state->stream_buffer_pages = 1;
+  state->client.weight = static_cast<uint32_t>(options.priority);
+  Session session;
+  session.state_ = std::move(state);
+  return session;
+}
+
+Result<QueryResult> HiqueEngine::Query(const std::string& sql) {
+  return default_session_.Query(sql);
+}
+
+Result<QueryResult> HiqueEngine::QueryWithPlanner(
+    const std::string& sql, const plan::PlannerOptions& planner) {
+  // Per-query planner override, bypassing the compiled-query cache so
+  // sweeps always measure a fresh compile.
+  return SessionImpl::BlockingQuery(this, default_session_.state_, sql,
+                                    planner, /*cacheable=*/false, nullptr);
+}
+
+Result<PreparedStatement> HiqueEngine::Prepare(const std::string& sql) {
+  return default_session_.Prepare(sql);
+}
+
+Result<QueryResult> HiqueEngine::Execute(const PreparedStatement& stmt,
+                                         const std::vector<Value>& values) {
+  return default_session_.Execute(stmt, values);
+}
+
+QueryHandle HiqueEngine::SubmitAsync(const std::string& sql) {
+  return default_session_.SubmitAsync(sql);
+}
+
+}  // namespace hique

@@ -1,0 +1,266 @@
+#ifndef HIQUE_EXEC_SESSION_INTERNAL_H_
+#define HIQUE_EXEC_SESSION_INTERNAL_H_
+
+// Internal definitions shared by engine.cc and session.cc: the pimpl state
+// behind PreparedStatement / Session / ResultSet / QueryHandle and the
+// privileged SessionImpl facade. Not part of the public API — include only
+// from src/exec implementation files.
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "exec/admission.h"
+#include "exec/engine.h"
+#include "exec/executor.h"
+#include "util/timer.h"
+
+namespace hique {
+
+/// Immutable after Prepare, so concurrent Execute calls share it freely. The
+/// one exception is the lazily created map-overflow fallback (stale
+/// statistics re-plan), which is guarded by its own mutex.
+struct PreparedStatement::State {
+  std::string sql;
+  std::string signature;
+  std::string plan_text;
+  std::unique_ptr<plan::PhysicalPlan> plan;
+  std::shared_ptr<exec::CompiledLibrary> library;  // pinned: eviction-proof
+  QueryTimings prepare_timings;
+  bool cache_hit = false;
+  // How this statement was planned — the map-overflow fallback re-plans
+  // with the same settings.
+  plan::PlannerOptions planner;
+  bool cacheable = false;
+
+  mutable std::mutex fallback_mu;
+  mutable std::shared_ptr<const State> fallback;
+};
+
+/// The bounded producer→consumer handoff behind a ResultSet: completed
+/// result pages queue here until the consumer pulls them. The producer
+/// blocks once `capacity` pages are buffered — that bound (plus the page
+/// being filled and the page the reader holds) is the cursor's peak
+/// result-page residency, independent of result cardinality.
+struct StreamCore {
+  explicit StreamCore(uint32_t cap) : capacity(cap < 1 ? 1 : cap) {}
+
+  std::mutex mu;
+  std::condition_variable cv;
+  std::deque<Page*> queue;
+  const uint32_t capacity;
+  bool closed = false;    // consumer cancelled / went away
+  bool finished = false;  // producer done; final_status/rows/stats valid
+  Status final_status = Status::OK();
+  int64_t rows = 0;
+  exec::ExecStats stats;
+  uint64_t pages_delivered = 0;
+  uint32_t peak_resident = 0;
+
+  // The flag the executor polls: &cancel, or the async job's flag.
+  std::atomic<int32_t> cancel{0};
+  std::atomic<int32_t>* cancel_flag = &cancel;
+
+  /// Producer side: enqueue a completed page (takes ownership). Blocks
+  /// while the buffer is full; false once the consumer closed (the page is
+  /// freed and the query unwinds with HQ_ERR_CANCELLED).
+  bool Push(Page* page);
+
+  /// Producer side: final outcome of the execution.
+  void Finish(Status status, int64_t row_count, const exec::ExecStats& s);
+
+  /// Consumer side: next page (ownership transfers to the caller), or
+  /// null once the producer finished and the buffer drained.
+  Page* Pop();
+
+  /// Consumer/session side: request cancellation and wake both ends.
+  void CancelAndClose();
+};
+
+struct Session::State {
+  HiqueEngine* engine = nullptr;
+  SessionOptions options;           // as resolved by OpenSession
+  plan::PlannerOptions planner;     // effective planner for this session
+  uint32_t stream_buffer_pages = 4; // resolved page-buffer bound
+  exec::AdmissionController::Client client;  // stride-scheduling state
+
+  std::mutex mu;
+  std::vector<std::weak_ptr<StreamCore>> streams;
+  std::vector<std::weak_ptr<QueryHandle::AsyncState>> asyncs;
+  bool closed = false;
+};
+
+struct QueryHandle::AsyncState {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool done = false;
+  bool taken = false;
+  std::unique_ptr<Result<QueryResult>> result;
+
+  std::atomic<int32_t> cancel{0};
+  std::atomic<uint64_t> dispatch_seq{0};
+  exec::AdmissionController* controller = nullptr;
+  uint64_t ticket = 0;
+};
+
+/// Everything one streaming execution owns: the pinned plan/library/param
+/// block the producer thread reads, the handoff core, and the consumer's
+/// cursor position. Destroyed only after the producer joined.
+struct ResultSet::Stream {
+  HiqueEngine* engine = nullptr;
+  std::shared_ptr<Session::State> session;
+
+  // Plan + library pins (the prepared state owns the plan; the library
+  // shared_ptr keeps the dlopen'd code loaded through cache evictions).
+  std::shared_ptr<const PreparedStatement::State> state;
+  std::shared_ptr<exec::CompiledLibrary> library;
+
+  // How to (re)launch — kept for the map-overflow restart.
+  bool is_execute = false;
+  std::vector<Value> values;  // placeholder bindings (execute path)
+  std::string sql;
+  plan::PlannerOptions planner;
+  bool cacheable = false;
+  std::atomic<int32_t>* external_cancel = nullptr;  // async job's flag
+  exec::ParallelRuntime par;
+
+  exec::BoundParams bound;
+  std::shared_ptr<StreamCore> core;
+  std::thread producer;
+  WallTimer exec_timer;  // launch → end-of-stream wall time
+
+  // Metadata fixed at open.
+  Schema schema;
+  uint32_t tuple_size = 0;
+  std::string plan_signature;
+  std::string plan_text;
+  std::string generated_source;
+  QueryTimings timings;
+  bool cache_hit = false;
+  int opt_level = 0;
+  int64_t source_bytes = 0;
+  int64_t library_bytes = 0;
+
+  // Consumer cursor.
+  Page* page = nullptr;       // held page (owned)
+  uint32_t row_in_page = 0;
+  bool row_valid = false;     // row_in_page addresses a consumed row
+  int64_t rows_read = 0;
+  bool iterating = false;     // a row was consumed (Materialize forbidden)
+  bool done = false;
+  Status end_status = Status::OK();
+  exec::ExecStats stats;
+  uint32_t stats_peak_pages = 0;  // high-water resident pages across launches
+
+  // Stale-statistics restart bookkeeping.
+  bool restarted = false;
+  std::string failed_signature;
+  plan::ParamTable failed_params;
+
+  ~Stream();
+};
+
+/// The privileged implementation of the session layer: a friend of
+/// HiqueEngine / Session / ResultSet / QueryHandle / PreparedStatement, so
+/// the streaming and async paths can reach the cache, the worker pool and
+/// the prepared-state internals without widening any public surface.
+struct SessionImpl {
+  static exec::ParallelRuntime RuntimeFor(const Session::State& s,
+                                          std::atomic<int32_t>* cancel);
+
+  /// Builds a fully planned stream (metadata filled, producer not yet
+  /// started): the shared front half of the cursor and blocking paths.
+  static Result<std::unique_ptr<ResultSet::Stream>> BuildQueryStream(
+      HiqueEngine* engine, const std::shared_ptr<Session::State>& session,
+      const std::string& sql, const plan::PlannerOptions& planner,
+      bool cacheable, std::atomic<int32_t>* external_cancel);
+  static Result<std::unique_ptr<ResultSet::Stream>> BuildExecuteStream(
+      HiqueEngine* engine, const std::shared_ptr<Session::State>& session,
+      const PreparedStatement& stmt, const std::vector<Value>& values,
+      std::atomic<int32_t>* external_cancel);
+
+  static Result<ResultSet> OpenQueryStream(
+      HiqueEngine* engine, const std::shared_ptr<Session::State>& session,
+      const std::string& sql, const plan::PlannerOptions& planner,
+      bool cacheable, std::atomic<int32_t>* external_cancel);
+
+  static Result<ResultSet> OpenExecuteStream(
+      HiqueEngine* engine, const std::shared_ptr<Session::State>& session,
+      const PreparedStatement& stmt, const std::vector<Value>& values,
+      std::atomic<int32_t>* external_cancel);
+
+  /// Blocking drain on the calling thread — same pipeline and restart
+  /// logic as the cursor path, but no producer thread or handoff queue:
+  /// pages are adopted into the result table straight from the executor's
+  /// page callback.
+  static Result<QueryResult> DrainInline(ResultSet::Stream* stream);
+
+  static Result<QueryResult> BlockingQuery(
+      HiqueEngine* engine, const std::shared_ptr<Session::State>& session,
+      const std::string& sql, const plan::PlannerOptions& planner,
+      bool cacheable, std::atomic<int32_t>* external_cancel);
+
+  static Result<QueryResult> BlockingExecute(
+      HiqueEngine* engine, const std::shared_ptr<Session::State>& session,
+      const PreparedStatement& stmt, const std::vector<Value>& values,
+      std::atomic<int32_t>* external_cancel);
+
+  static QueryHandle Submit(
+      HiqueEngine* engine, const std::shared_ptr<Session::State>& session,
+      std::function<Result<QueryResult>(std::atomic<int32_t>*)> run);
+
+  /// Binds parameters and starts the producer thread (stream->core must be
+  /// unset or replaced first).
+  static Status Launch(ResultSet::Stream* stream);
+
+  /// Pulls the next completed page (ownership to the caller); handles the
+  /// end of stream, the map-overflow restart, and the overflow-alias
+  /// success hook. Null at end — stream->done / end_status are then set.
+  static Page* PullPage(ResultSet::Stream* stream);
+
+  /// Copies the open-time metadata out of the (possibly restarted)
+  /// prepared state into the stream.
+  static void FillStreamMeta(ResultSet::Stream* stream);
+
+  /// Adds a stream's handoff core to its session's live set (so Close can
+  /// cancel it); fails when the session is closed.
+  static Status RegisterStream(const std::shared_ptr<Session::State>& session,
+                               const std::shared_ptr<StreamCore>& core);
+
+  /// Map-overflow replan: swap the stream onto the hybrid-aggregation
+  /// fallback state (query path: fresh PrepareState + failed-signature
+  /// capture; execute path: the statement's shared lazy fallback) and
+  /// refresh the stream metadata. Does not start execution.
+  static Status ReplanHybrid(ResultSet::Stream* stream);
+
+  /// Map-overflow restart for the cursor path: ReplanHybrid + Launch.
+  static Status RestartWithHybrid(ResultSet::Stream* stream);
+
+  /// Shared QueryResult assembly from a finished stream.
+  static QueryResult AssembleResult(ResultSet::Stream* stream,
+                                    std::unique_ptr<Table> table);
+
+  /// Engine-private plumbing used by the streaming paths.
+  static Result<std::shared_ptr<const PreparedStatement::State>>
+  PrepareQueryState(HiqueEngine* engine, const std::string& sql,
+                    const plan::PlannerOptions& planner, bool cacheable,
+                    bool force_hybrid);
+  static Result<std::shared_ptr<const PreparedStatement::State>>
+  PrepareFallback(HiqueEngine* engine, const PreparedStatement::State& state);
+  static Result<PreparedStatement> Prepare(
+      HiqueEngine* engine, const std::string& sql,
+      const plan::PlannerOptions& planner);
+  static std::shared_ptr<exec::CompiledLibrary> CurrentLibrary(
+      HiqueEngine* engine, const PreparedStatement::State& state);
+
+  static void SettleCancelled(const std::shared_ptr<QueryHandle::AsyncState>& s);
+};
+
+}  // namespace hique
+
+#endif  // HIQUE_EXEC_SESSION_INTERNAL_H_

@@ -52,14 +52,22 @@ void WorkerPool::WorkerLoop(uint32_t slot) {
       std::unique_lock<std::mutex> lk(mu_);
       cv_.wait(lk, [&] { return stop_ || !jobs_.empty(); });
       if (stop_) return;
-      job = jobs_.front();
+      // Claim tasks from the highest-priority pending job; FIFO within a
+      // level (the deque preserves submission order, max_element keeps
+      // the first maximum).
+      job = *std::max_element(
+          jobs_.begin(), jobs_.end(),
+          [](const std::shared_ptr<Job>& a, const std::shared_ptr<Job>& b) {
+            return a->priority < b->priority;
+          });
     }
     RunTasks(job.get(), slot);
     EraseIfDrained(job);
   }
 }
 
-bool WorkerPool::ParallelFor(uint32_t num_tasks, const TaskFn& fn) {
+bool WorkerPool::ParallelFor(uint32_t num_tasks, const TaskFn& fn,
+                             int priority) {
   if (num_tasks == 0) return true;
   if (threads_.empty()) {
     for (uint32_t t = 0; t < num_tasks; ++t) {
@@ -70,6 +78,7 @@ bool WorkerPool::ParallelFor(uint32_t num_tasks, const TaskFn& fn) {
   auto job = std::make_shared<Job>();
   job->fn = &fn;
   job->num_tasks = num_tasks;
+  job->priority = priority;
   {
     std::lock_guard<std::mutex> lk(mu_);
     jobs_.push_back(job);

@@ -49,12 +49,19 @@ class WorkerPool {
   /// multiple threads concurrently; jobs share the worker threads.
   /// Returns false when the job was cancelled (a task returned nonzero),
   /// so callers never mistake a partially-run job for a completed one.
-  bool ParallelFor(uint32_t num_tasks, const TaskFn& fn);
+  ///
+  /// When several jobs are pending, idle workers claim tasks from the
+  /// highest-priority job first (FIFO within a priority level), so a
+  /// high-priority session's barriers drain ahead of background work. The
+  /// calling thread always works on its own job regardless of priority —
+  /// every job keeps at least one executor and can never starve.
+  bool ParallelFor(uint32_t num_tasks, const TaskFn& fn, int priority = 0);
 
  private:
   struct Job {
     const TaskFn* fn = nullptr;
     uint32_t num_tasks = 0;
+    int priority = 0;
     std::atomic<uint32_t> next{0};       // next task to claim
     std::atomic<uint32_t> done{0};       // finished (or skipped) tasks
     std::atomic<bool> cancelled{false};  // a task returned nonzero

@@ -29,8 +29,8 @@ BufferManager::BufferManager(size_t frame_capacity) {
 
 BufferManager::~BufferManager() {
   {
-    std::lock_guard<std::mutex> lk(mu_);
-    (void)FlushAllLocked();
+    std::unique_lock<std::mutex> lk(mu_);
+    (void)FlushAllInternal(lk);
   }
   for (auto& f : files_) {
     if (f.fd >= 0) ::close(f.fd);
@@ -64,34 +64,71 @@ Result<uint64_t> BufferManager::FilePageCount(FileId file) {
   return files_[file].page_count;
 }
 
-Result<size_t> BufferManager::GetVictimFrame() {
-  if (lru_.empty()) {
-    return Status::ExecError(
-        "buffer pool exhausted: all frames pinned (pool too small for "
-        "working set)");
+Result<size_t> BufferManager::ClaimVictimFrame(
+    std::unique_lock<std::mutex>& lk) {
+  size_t frame;
+  for (;;) {
+    if (lru_.empty()) {
+      return Status::ExecError(
+          "buffer pool exhausted: all frames pinned (pool too small for "
+          "working set)");
+    }
+    frame = lru_.front();
+    if (meta_[frame].io_in_progress) {
+      // FlushAll is writing this frame's bytes out right now; wait for the
+      // I/O to finish rather than stealing the frame mid-write.
+      io_cv_.wait(lk);
+      continue;
+    }
+    lru_.pop_front();
+    meta_[frame].in_lru = false;
+    break;
   }
-  size_t frame = lru_.front();
-  lru_.pop_front();
-  meta_[frame].in_lru = false;
   if (meta_[frame].valid) {
-    HQ_RETURN_IF_ERROR(WriteBack(frame));
+    // Write-back happens with the lock dropped; the old mapping stays in
+    // place (io_in_progress) so fetchers of the old page wait instead of
+    // re-reading stale bytes from disk mid-write.
+    Status written = WriteBackUnlocked(lk, frame);
+    if (!written.ok()) {
+      // Return the frame to the cold end and surface the error.
+      lru_.push_front(frame);
+      meta_[frame].lru_pos = lru_.begin();
+      meta_[frame].in_lru = true;
+      return written;
+    }
     page_table_.erase({meta_[frame].file, meta_[frame].page_no});
     meta_[frame].valid = false;
     ++evictions_;
+    // Waiters keyed on the old mapping re-run their lookup and miss.
+    io_cv_.notify_all();
   }
   return frame;
 }
 
-Status BufferManager::WriteBack(size_t frame_index) {
+Status BufferManager::WriteBackUnlocked(std::unique_lock<std::mutex>& lk,
+                                        size_t frame_index) {
   FrameMeta& m = meta_[frame_index];
   if (!m.valid || !m.dirty) return Status::OK();
-  const OpenFileState& f = files_[m.file];
-  ssize_t n = ::pwrite(f.fd, frames_[frame_index], kPageSize,
-                       static_cast<off_t>(m.page_no) * kPageSize);
-  if (n != kPageSize) {
-    return Status::IoError("pwrite " + f.path + ": " + std::strerror(errno));
-  }
+  const int fd = files_[m.file].fd;
+  const std::string path = files_[m.file].path;
+  const off_t offset = static_cast<off_t>(m.page_no) * kPageSize;
+  // Claim the dirty mark *before* dropping the lock: a pin holder that
+  // modifies the page and calls Unpin(dirty=true) during our pwrite
+  // re-marks the frame, so the newer contents get their own write-back
+  // instead of being silently lost to `dirty = false` after the I/O.
   m.dirty = false;
+  m.io_in_progress = true;
+  lk.unlock();
+  ssize_t n = ::pwrite(fd, frames_[frame_index], kPageSize, offset);
+  int saved_errno = errno;
+  lk.lock();
+  m.io_in_progress = false;
+  io_cv_.notify_all();
+  if (n != kPageSize) {
+    m.dirty = true;  // the bytes never reached disk; keep the frame dirty
+    return Status::IoError("pwrite " + path + ": " +
+                           std::strerror(saved_errno));
+  }
   return Status::OK();
 }
 
@@ -106,19 +143,12 @@ Result<Page*> BufferManager::PinExisting(size_t frame_index) {
 }
 
 Result<Page*> BufferManager::NewPage(FileId file, uint64_t* page_no) {
-  std::lock_guard<std::mutex> lk(mu_);
+  std::unique_lock<std::mutex> lk(mu_);
   if (file >= files_.size()) return Status::InvalidArgument("bad file id");
-  OpenFileState& f = files_[file];
-  uint64_t no = f.page_count++;
-  // Extend the file eagerly so FetchPage of this page after eviction works.
-  static const char zeros[kPageSize] = {};
-  ssize_t n =
-      ::pwrite(f.fd, zeros, kPageSize, static_cast<off_t>(no) * kPageSize);
-  if (n != kPageSize) {
-    return Status::IoError("extend " + f.path + ": " + std::strerror(errno));
-  }
-  HQ_ASSIGN_OR_RETURN(size_t frame, GetVictimFrame());
-  frames_[frame]->Reset();
+  // Reserve the page number atomically with the count bump; nobody can
+  // fetch it before NewPage returns (the number is unknown until then).
+  uint64_t no = files_[file].page_count++;
+  HQ_ASSIGN_OR_RETURN(size_t frame, ClaimVictimFrame(lk));
   FrameMeta& m = meta_[frame];
   m.file = file;
   m.page_no = no;
@@ -126,39 +156,106 @@ Result<Page*> BufferManager::NewPage(FileId file, uint64_t* page_no) {
   m.dirty = true;  // header (num_tuples = 0) differs from on-disk zeros only
                    // trivially, but marking dirty keeps the invariant simple.
   m.valid = true;
+  m.io_in_progress = true;
   page_table_[{file, no}] = frame;
+  const int fd = files_[file].fd;
+  const std::string path = files_[file].path;
+
+  // Extend the file eagerly (so FetchPage of this page after eviction
+  // works) with the lock dropped: the loading mapping above keeps the
+  // frame claimed meanwhile.
+  lk.unlock();
+  static const char zeros[kPageSize] = {};
+  ssize_t n = ::pwrite(fd, zeros, kPageSize, static_cast<off_t>(no) * kPageSize);
+  int saved_errno = errno;
+  frames_[frame]->Reset();
+  lk.lock();
+
+  m.io_in_progress = false;
+  io_cv_.notify_all();
+  if (n != kPageSize) {
+    page_table_.erase({file, no});
+    m.valid = false;
+    m.pin_count = 0;
+    lru_.push_back(frame);
+    m.lru_pos = std::prev(lru_.end());
+    m.in_lru = true;
+    return Status::IoError("extend " + path + ": " +
+                           std::strerror(saved_errno));
+  }
   if (page_no != nullptr) *page_no = no;
   return frames_[frame];
 }
 
 Result<Page*> BufferManager::FetchPage(FileId file, uint64_t page_no) {
-  std::lock_guard<std::mutex> lk(mu_);
+  std::unique_lock<std::mutex> lk(mu_);
   if (file >= files_.size()) return Status::InvalidArgument("bad file id");
-  auto it = page_table_.find({file, page_no});
-  if (it != page_table_.end()) {
-    ++hits_;
-    return PinExisting(it->second);
+  for (;;) {
+    auto it = page_table_.find({file, page_no});
+    if (it != page_table_.end()) {
+      FrameMeta& m = meta_[it->second];
+      if (m.io_in_progress) {
+        // Another thread is loading this page (or writing it back for
+        // eviction): wait and re-run the lookup — the frame may have been
+        // loaded, or stolen, by the time we wake.
+        io_cv_.wait(lk);
+        continue;
+      }
+      ++hits_;
+      return PinExisting(it->second);
+    }
+
+    ++misses_;
+    if (page_no >= files_[file].page_count) {
+      return Status::InvalidArgument("page " + std::to_string(page_no) +
+                                     " beyond end of " + files_[file].path);
+    }
+    HQ_ASSIGN_OR_RETURN(size_t frame, ClaimVictimFrame(lk));
+    // ClaimVictimFrame may have dropped the lock (dirty write-back): a
+    // concurrent fetcher could have loaded our page meanwhile. Re-check
+    // before loading it twice into two frames.
+    if (page_table_.count({file, page_no}) != 0) {
+      lru_.push_back(frame);
+      meta_[frame].lru_pos = std::prev(lru_.end());
+      meta_[frame].in_lru = true;
+      --misses_;  // resolved as a hit on retry
+      continue;
+    }
+
+    // Install the loading mapping, then read the bytes with the lock
+    // dropped; concurrent fetchers of this page wait on io_cv_.
+    FrameMeta& m = meta_[frame];
+    m.file = file;
+    m.page_no = page_no;
+    m.pin_count = 1;
+    m.dirty = false;
+    m.valid = true;
+    m.io_in_progress = true;
+    page_table_[{file, page_no}] = frame;
+    const int fd = files_[file].fd;
+    const std::string path = files_[file].path;
+
+    lk.unlock();
+    ssize_t n = ::pread(fd, frames_[frame], kPageSize,
+                        static_cast<off_t>(page_no) * kPageSize);
+    int saved_errno = errno;
+    lk.lock();
+
+    m.io_in_progress = false;
+    io_cv_.notify_all();
+    if (n != kPageSize) {
+      // Undo the mapping; waiters retry and re-attempt the load.
+      page_table_.erase({file, page_no});
+      m.valid = false;
+      m.pin_count = 0;
+      lru_.push_back(frame);
+      m.lru_pos = std::prev(lru_.end());
+      m.in_lru = true;
+      return Status::IoError("pread " + path + ": " +
+                             std::strerror(saved_errno));
+    }
+    return frames_[frame];
   }
-  ++misses_;
-  OpenFileState& f = files_[file];
-  if (page_no >= f.page_count) {
-    return Status::InvalidArgument("page " + std::to_string(page_no) +
-                                   " beyond end of " + f.path);
-  }
-  HQ_ASSIGN_OR_RETURN(size_t frame, GetVictimFrame());
-  ssize_t n = ::pread(f.fd, frames_[frame], kPageSize,
-                      static_cast<off_t>(page_no) * kPageSize);
-  if (n != kPageSize) {
-    return Status::IoError("pread " + f.path + ": " + std::strerror(errno));
-  }
-  FrameMeta& m = meta_[frame];
-  m.file = file;
-  m.page_no = page_no;
-  m.pin_count = 1;
-  m.dirty = false;
-  m.valid = true;
-  page_table_[{file, page_no}] = frame;
-  return frames_[frame];
 }
 
 void BufferManager::Unpin(FileId file, uint64_t page_no, bool dirty) {
@@ -176,13 +273,14 @@ void BufferManager::Unpin(FileId file, uint64_t page_no, bool dirty) {
 }
 
 Status BufferManager::FlushAll() {
-  std::lock_guard<std::mutex> lk(mu_);
-  return FlushAllLocked();
+  std::unique_lock<std::mutex> lk(mu_);
+  return FlushAllInternal(lk);
 }
 
-Status BufferManager::FlushAllLocked() {
+Status BufferManager::FlushAllInternal(std::unique_lock<std::mutex>& lk) {
   for (size_t i = 0; i < meta_.size(); ++i) {
-    HQ_RETURN_IF_ERROR(WriteBack(i));
+    while (meta_[i].io_in_progress) io_cv_.wait(lk);
+    HQ_RETURN_IF_ERROR(WriteBackUnlocked(lk, i));
   }
   return Status::OK();
 }

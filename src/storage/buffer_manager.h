@@ -1,6 +1,7 @@
 #ifndef HIQUE_STORAGE_BUFFER_MANAGER_H_
 #define HIQUE_STORAGE_BUFFER_MANAGER_H_
 
+#include <condition_variable>
 #include <cstdint>
 #include <list>
 #include <mutex>
@@ -28,6 +29,13 @@ using FileId = uint32_t;
 /// counters, so concurrent (and intra-query parallel) executions can pin
 /// and unpin file-backed tables safely. Page *contents* follow the engine
 /// rule that base tables are not mutated during queries.
+///
+/// Disk I/O never happens under the mutex: a frame doing I/O is marked
+/// `io_in_progress` while the lock is dropped for the pread/pwrite and
+/// finalized after, so a miss-heavy concurrent workload overlaps its disk
+/// reads instead of serializing on the pool lock. Concurrent fetchers of a
+/// loading (or writing-back) page wait on a condition variable and retry;
+/// frames doing I/O are never chosen as eviction victims.
 class BufferManager {
  public:
   explicit BufferManager(size_t frame_capacity);
@@ -75,6 +83,10 @@ class BufferManager {
     int pin_count = 0;
     bool dirty = false;
     bool valid = false;
+    // The frame's bytes are being read from / written to disk outside the
+    // lock. While set, the frame must not be evicted and its mapping must
+    // not be trusted — waiters block on io_cv_ and retry their lookup.
+    bool io_in_progress = false;
     std::list<size_t>::iterator lru_pos;  // valid iff pin_count == 0 && valid
     bool in_lru = false;
   };
@@ -92,13 +104,16 @@ class BufferManager {
     }
   };
 
-  // All require mu_ held.
-  Result<size_t> GetVictimFrame();
-  Status WriteBack(size_t frame_index);
+  // All require mu_ held (via `lk`); the first two may drop and reacquire
+  // the lock around disk I/O.
+  Result<size_t> ClaimVictimFrame(std::unique_lock<std::mutex>& lk);
+  Status WriteBackUnlocked(std::unique_lock<std::mutex>& lk,
+                           size_t frame_index);
   Result<Page*> PinExisting(size_t frame_index);
-  Status FlushAllLocked();
+  Status FlushAllInternal(std::unique_lock<std::mutex>& lk);
 
   mutable std::mutex mu_;
+  std::condition_variable io_cv_;
   std::vector<Page*> frames_;           // frame storage (aligned heap pages)
   std::vector<FrameMeta> meta_;
   std::list<size_t> lru_;               // front = least recently used

@@ -1,6 +1,19 @@
 #include "storage/catalog.h"
 
+#include "util/hash.h"
+
 namespace hique {
+
+uint64_t Catalog::StatsVersion() const {
+  // Order-independent mix (unordered_map iteration order must not matter):
+  // XOR of per-table digests, each binding the table's name to its version.
+  uint64_t version = 0;
+  for (const auto& [name, table] : tables_) {
+    uint64_t digest = HashBytes(name.data(), name.size());
+    version ^= HashMix64(digest + table->stats_version() + 1);
+  }
+  return version;
+}
 
 Result<Table*> Catalog::CreateTable(const std::string& name, Schema schema) {
   if (tables_.count(name) != 0) {

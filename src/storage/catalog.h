@@ -33,6 +33,14 @@ class Catalog {
 
   std::vector<std::string> TableNames() const;
 
+  /// Catalog-wide statistics version: changes whenever any table's
+  /// statistics are recomputed (or a table is created/dropped). The engine
+  /// prefixes compiled-plan cache keys with it, so a stats refresh
+  /// invalidates stale cached libraries instead of letting them serve until
+  /// LRU eviction. Mixes per-table versions with the table-name hash so two
+  /// different refresh patterns never collide into the same version.
+  uint64_t StatsVersion() const;
+
  private:
   std::unordered_map<std::string, std::unique_ptr<Table>> tables_;
 };

@@ -197,6 +197,7 @@ struct DistinctCounter {
 }  // namespace
 
 Status Table::ComputeStats() {
+  stats_version_.fetch_add(1, std::memory_order_acq_rel);
   stats_.rows = num_tuples_;
   stats_.columns.assign(schema_.NumColumns(), ColumnStats{});
   std::vector<DistinctCounter> counters(schema_.NumColumns());

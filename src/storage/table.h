@@ -1,6 +1,7 @@
 #ifndef HIQUE_STORAGE_TABLE_H_
 #define HIQUE_STORAGE_TABLE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -97,10 +98,22 @@ class Table {
   /// Invokes `fn(tuple_ptr)` for every tuple (test/oracle convenience).
   Status ForEachTuple(const std::function<void(const uint8_t*)>& fn);
 
-  /// Scans the table and recomputes `stats()`.
+  /// Scans the table and recomputes `stats()`. Bumps the statistics
+  /// version: the engine embeds the catalog-wide version in compiled-plan
+  /// cache keys, so refreshed statistics invalidate stale libraries.
   Status ComputeStats();
   const TableStats& stats() const { return stats_; }
-  TableStats& mutable_stats() { return stats_; }
+  TableStats& mutable_stats() {
+    // Handing out a mutable reference signals a statistics edit: count it
+    // as a refresh so cached plans keyed on the old stats stop matching.
+    stats_version_.fetch_add(1, std::memory_order_acq_rel);
+    return stats_;
+  }
+
+  /// Monotonic statistics refresh counter (see Catalog::StatsVersion).
+  uint64_t stats_version() const {
+    return stats_version_.load(std::memory_order_acquire);
+  }
 
  private:
   Table(std::string name, Schema schema, BufferManager* bm, FileId file);
@@ -122,6 +135,7 @@ class Table {
   uint64_t write_page_no_ = 0;
 
   TableStats stats_;
+  std::atomic<uint64_t> stats_version_{0};
 };
 
 }  // namespace hique

@@ -179,6 +179,33 @@ TEST_F(ParamCacheTest, LruEvictionRespectsBound) {
   EXPECT_EQ(engine.CacheStats().entries, 2u);
 }
 
+TEST_F(ParamCacheTest, StatsRefreshInvalidatesCachedLibraries) {
+  // The engine prefixes cache keys with the catalog statistics version:
+  // refreshed statistics must stop serving libraries whose stats-derived
+  // constants (partition counts, directory geometry) are stale, instead of
+  // letting them linger until LRU eviction.
+  const std::string sql = "select t_k, count(*) from t group by t_k";
+  auto first = engine_->Query(sql);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  EXPECT_FALSE(first.value().cache_hit);
+
+  auto warm = engine_->Query(sql);
+  ASSERT_TRUE(warm.ok());
+  EXPECT_TRUE(warm.value().cache_hit);
+
+  // A statistics refresh re-keys the plan: same SQL, fresh compile.
+  ASSERT_TRUE(catalog_.GetTable("t").value()->ComputeStats().ok());
+  auto refreshed = engine_->Query(sql);
+  ASSERT_TRUE(refreshed.ok()) << refreshed.status().ToString();
+  EXPECT_FALSE(refreshed.value().cache_hit);
+  EXPECT_NE(refreshed.value().plan_signature, first.value().plan_signature);
+
+  // The new key is stable: repeats hit again.
+  auto rewarm = engine_->Query(sql);
+  ASSERT_TRUE(rewarm.ok());
+  EXPECT_TRUE(rewarm.value().cache_hit);
+}
+
 TEST_F(ParamCacheTest, HoistingDisabledRestoresPerLiteralCaching) {
   EngineOptions opts;
   opts.hoist_constants = false;

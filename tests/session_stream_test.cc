@@ -1,0 +1,266 @@
+// Session / ResultSet streaming semantics: streamed rows must be
+// bit-identical to the materialized Query() rows at every thread count,
+// peak result-page residency must stay bounded regardless of result
+// cardinality, early cursor close must cancel the rest of the query
+// cleanly (no leaked pages, engine stays healthy), and the map-overflow
+// restart must work through the streaming path.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "exec/engine.h"
+#include "exec/executor.h"
+#include "ref/reference.h"
+#include "tests/test_util.h"
+#include "util/env.h"
+
+namespace hique {
+namespace {
+
+std::vector<std::string> ResultTuples(const QueryResult& r) {
+  std::vector<std::string> rows;
+  if (!r.table) return rows;
+  uint32_t sz = r.table->schema().TupleSize();
+  (void)r.table->ForEachTuple([&](const uint8_t* tuple) {
+    rows.emplace_back(reinterpret_cast<const char*>(tuple), sz);
+  });
+  return rows;
+}
+
+std::vector<std::string> StreamTuples(ResultSet* rs) {
+  std::vector<std::string> rows;
+  uint32_t sz = rs->schema().TupleSize();
+  while (rs->Next()) {
+    rows.emplace_back(reinterpret_cast<const char*>(rs->RowBytes()), sz);
+  }
+  return rows;
+}
+
+EngineOptions FastOptions(uint32_t threads) {
+  static int instance = 0;
+  EngineOptions o;
+  o.threads = threads;
+  o.compile.opt_level = 0;
+  o.tiered_compilation = false;
+  o.gen_dir = env::ProcessTempDir() + "/stream_e" + std::to_string(instance++);
+  return o;
+}
+
+class SessionStreamTest : public ::testing::Test {
+ public:
+  static Catalog& SharedCatalog() {
+    static Catalog* catalog = [] {
+      auto* c = new Catalog();
+      testing::MakeIntTable(c, "sr", 20000, 50, 11);
+      testing::MakeIntTable(c, "ss", 30000, 50, 12);
+      testing::MakeIntTable(c, "big", 200000, 1000, 13);
+      return c;
+    }();
+    return *catalog;
+  }
+
+  static std::vector<std::string> Queries() {
+    return {
+        // Scan + filter + projection (pure streaming, no sort buffer).
+        "select big_k, big_v, big_d from big where big_v >= 10",
+        // Hybrid join + grouped aggregation + order by.
+        "select sr_k, count(*) as c, sum(ss_v) as sv from sr, ss "
+        "where sr_k = ss_k group by sr_k order by sr_k",
+        // Fused scalar aggregation over a join.
+        "select count(*) as c, sum(ss_d) as sd from sr, ss "
+        "where sr_k = ss_k",
+        // Map aggregation, order by + limit.
+        "select big_k, count(*) as c from big group by big_k "
+        "order by c desc, big_k limit 17",
+    };
+  }
+};
+
+TEST_F(SessionStreamTest, StreamedRowsBitIdenticalToQueryAcrossThreads) {
+  Catalog& catalog = SharedCatalog();
+  for (uint32_t threads : {1u, 2u, 8u}) {
+    HiqueEngine engine(&catalog, FastOptions(threads));
+    Session session = engine.OpenSession({});
+    for (const auto& sql : Queries()) {
+      auto materialized = engine.Query(sql);
+      ASSERT_TRUE(materialized.ok()) << sql << ": "
+                                     << materialized.status().ToString();
+      auto rs = session.QueryStream(sql);
+      ASSERT_TRUE(rs.ok()) << sql << ": " << rs.status().ToString();
+      ResultSet cursor = std::move(rs).value();
+      EXPECT_EQ(StreamTuples(&cursor), ResultTuples(materialized.value()))
+          << "threads=" << threads << " query: " << sql;
+      EXPECT_TRUE(cursor.status().ok()) << cursor.status().ToString();
+      EXPECT_EQ(cursor.rows_read(), materialized.value().NumRows());
+      // Streaming shares the compiled-plan cache with the blocking path.
+      EXPECT_EQ(cursor.plan_signature(),
+                materialized.value().plan_signature);
+      cursor.Close();
+    }
+  }
+}
+
+// Acceptance: the streaming path never materializes the full result. A
+// ~1200-page result must flow through a cursor whose peak result-page
+// residency stays at the configured bound (buffered pages + the page in
+// production + the page the reader holds), and still match Query() byte
+// for byte.
+TEST_F(SessionStreamTest, PeakResultPageResidencyIsBounded) {
+  Catalog& catalog = SharedCatalog();
+  HiqueEngine engine(&catalog, FastOptions(2));
+  SessionOptions options;
+  options.stream_buffer_pages = 4;
+  Session session = engine.OpenSession(options);
+
+  const std::string sql = "select big_k, big_v, big_d from big "
+                          "where big_v >= 0";
+  auto materialized = engine.Query(sql);
+  ASSERT_TRUE(materialized.ok()) << materialized.status().ToString();
+  ASSERT_GT(materialized.value().NumRows(), 150000);
+  uint64_t result_pages = materialized.value().table->NumPages();
+  ASSERT_GT(result_pages, 100u) << "result too small to prove streaming";
+
+  auto rs = session.QueryStream(sql);
+  ASSERT_TRUE(rs.ok()) << rs.status().ToString();
+  ResultSet cursor = std::move(rs).value();
+  EXPECT_EQ(StreamTuples(&cursor), ResultTuples(materialized.value()));
+  EXPECT_TRUE(cursor.status().ok()) << cursor.status().ToString();
+  // O(pinned pages), independent of the result's ~1200 pages.
+  EXPECT_LE(cursor.peak_result_pages(), options.stream_buffer_pages + 2);
+  EXPECT_GE(cursor.peak_result_pages(), 1u);
+}
+
+TEST_F(SessionStreamTest, EarlyCloseCancelsCleanly) {
+  Catalog& catalog = SharedCatalog();
+  HiqueEngine engine(&catalog, FastOptions(4));
+  Session session = engine.OpenSession({});
+  const std::string sql = "select big_k, big_v, big_d from big "
+                          "where big_v >= 0";
+  // Repeat to shake races between the producer and the early close: the
+  // close lands at a different point of the pipeline each iteration.
+  for (int round = 0; round < 8; ++round) {
+    auto rs = session.QueryStream(sql);
+    ASSERT_TRUE(rs.ok()) << rs.status().ToString();
+    ResultSet cursor = std::move(rs).value();
+    int rows = 0;
+    while (rows < 1 + round * 37 && cursor.Next()) ++rows;
+    cursor.Close();  // cancels the remaining execution, joins the producer
+    // A closed cursor stops yielding rows.
+    EXPECT_FALSE(cursor.Next());
+  }
+  // The engine (pool, cache, arenas) must be fully healthy afterwards.
+  auto check = engine.Query(
+      "select sr_k, count(*) as c from sr group by sr_k order by sr_k");
+  ASSERT_TRUE(check.ok()) << check.status().ToString();
+  EXPECT_GT(check.value().NumRows(), 0);
+}
+
+TEST_F(SessionStreamTest, DroppedCursorCancelsViaDestructor) {
+  Catalog& catalog = SharedCatalog();
+  HiqueEngine engine(&catalog, FastOptions(2));
+  Session session = engine.OpenSession({});
+  {
+    auto rs = session.QueryStream(
+        "select big_k, big_v from big where big_v >= 0");
+    ASSERT_TRUE(rs.ok());
+    ResultSet cursor = std::move(rs).value();
+    ASSERT_TRUE(cursor.Next());  // start consuming, then just drop it
+  }
+  auto check = engine.Query("select count(*) as c from sr");
+  ASSERT_TRUE(check.ok()) << check.status().ToString();
+}
+
+TEST_F(SessionStreamTest, SessionThreadOverrideForcesSerialExecution) {
+  Catalog& catalog = SharedCatalog();
+  HiqueEngine engine(&catalog, FastOptions(4));
+  SessionOptions serial;
+  serial.threads = 1;
+  Session serial_session = engine.OpenSession(serial);
+  const std::string sql = "select sr_k, count(*) as c from sr group by sr_k";
+
+  auto parallel = engine.Query(sql);
+  ASSERT_TRUE(parallel.ok());
+  EXPECT_EQ(parallel.value().exec_stats.threads, 4u);
+
+  auto forced = serial_session.Query(sql);
+  ASSERT_TRUE(forced.ok());
+  EXPECT_EQ(forced.value().exec_stats.threads, 1u);
+  EXPECT_EQ(ResultTuples(forced.value()), ResultTuples(parallel.value()));
+}
+
+TEST_F(SessionStreamTest, ExecuteStreamMatchesExecute) {
+  Catalog& catalog = SharedCatalog();
+  HiqueEngine engine(&catalog, FastOptions(2));
+  Session session = engine.OpenSession({});
+  auto stmt = session.Prepare(
+      "select sr_k, count(*) as c from sr where sr_v >= ? "
+      "group by sr_k order by sr_k");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  for (int threshold : {0, 250, 900}) {
+    std::vector<Value> values = {Value::Int32(threshold)};
+    auto blocking = session.Execute(stmt.value(), values);
+    ASSERT_TRUE(blocking.ok()) << blocking.status().ToString();
+    auto rs = session.ExecuteStream(stmt.value(), values);
+    ASSERT_TRUE(rs.ok()) << rs.status().ToString();
+    ResultSet cursor = std::move(rs).value();
+    EXPECT_EQ(StreamTuples(&cursor), ResultTuples(blocking.value()))
+        << "threshold=" << threshold;
+    EXPECT_TRUE(cursor.cache_hit());  // Execute never generates or compiles
+  }
+}
+
+TEST_F(SessionStreamTest, MapOverflowRestartsStreamTransparently) {
+  Catalog catalog;
+  Table* t = testing::MakeIntTable(&catalog, "t", 200, 4, 5);
+  // Stale statistics: claim 4 distinct keys, then insert many new ones so
+  // map aggregation's directories overflow at run time.
+  for (int i = 0; i < 500; ++i) {
+    ASSERT_TRUE(t->AppendRow({Value::Int32(1000 + i), Value::Int32(i),
+                              Value::Double(i), Value::Char("x", 8)})
+                    .ok());
+  }
+  t->mutable_stats().valid = true;  // keep the stale statistics
+
+  const std::string sql = "select t_k, count(*), sum(t_v) from t group by t_k";
+  auto expected = ref::ExecuteSql(sql, catalog);
+  ASSERT_TRUE(expected.ok());
+
+  HiqueEngine engine(&catalog, FastOptions(1));
+  Session session = engine.OpenSession({});
+  auto rs = session.QueryStream(sql);
+  ASSERT_TRUE(rs.ok()) << rs.status().ToString();
+  ResultSet cursor = std::move(rs).value();
+  std::vector<ref::Row> actual;
+  while (cursor.Next()) actual.push_back(cursor.Row());
+  ASSERT_TRUE(cursor.status().ok()) << cursor.status().ToString();
+  Status cmp = ref::CompareRowSets(expected.value(), actual, false);
+  EXPECT_TRUE(cmp.ok()) << cmp.ToString();
+
+  // The restart aliased the hybrid library under the overflowing plan's
+  // signature: repeating the query (blocking path) hits the cache.
+  auto repeat = engine.Query(sql);
+  ASSERT_TRUE(repeat.ok()) << repeat.status().ToString();
+  EXPECT_TRUE(repeat.value().cache_hit);
+}
+
+TEST_F(SessionStreamTest, SessionCloseCancelsOpenCursors) {
+  Catalog& catalog = SharedCatalog();
+  HiqueEngine engine(&catalog, FastOptions(2));
+  Session session = engine.OpenSession({});
+  auto rs = session.QueryStream(
+      "select big_k, big_v from big where big_v >= 0");
+  ASSERT_TRUE(rs.ok());
+  ResultSet cursor = std::move(rs).value();
+  session.Close();
+  // Drain whatever was already buffered; the stream must end (cancelled or
+  // complete) rather than hang, and new work on the session must fail.
+  while (cursor.Next()) {
+  }
+  auto after = session.Query("select count(*) as c from sr");
+  EXPECT_FALSE(after.ok());
+}
+
+}  // namespace
+}  // namespace hique
