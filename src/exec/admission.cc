@@ -7,6 +7,7 @@ namespace hique::exec {
 
 AdmissionController::AdmissionController(uint32_t slots) {
   if (slots < 1) slots = 1;
+  slots_ = slots;
   runners_.reserve(slots);
   for (uint32_t i = 0; i < slots; ++i) {
     runners_.emplace_back(&AdmissionController::RunnerLoop, this);
@@ -22,30 +23,75 @@ AdmissionController::~AdmissionController() {
   }
   cv_.notify_all();
   for (auto& t : runners_) t.join();
-  // Settle jobs that never dispatched: their promises must not hang.
-  for (auto& job : orphaned) job.fn(0, /*cancelled=*/true);
+  // Parked blocking callers wake on stop_ and leave without a lease; they
+  // must be out of EnterBlocking before the condition variable dies.
+  {
+    std::unique_lock<std::mutex> lk(mu_);
+    cv_.wait(lk, [&] { return blocking_waiters_ == 0; });
+  }
+  // Settle async jobs that never dispatched: their promises must not hang.
+  for (auto& job : orphaned) {
+    if (job.fn) job.fn(0, /*cancelled=*/true);
+  }
+}
+
+std::vector<AdmissionController::QueuedJob>::iterator
+AdmissionController::MinEntryLocked() {
+  // Dispatch the smallest pass; submission order (ticket) breaks ties, so
+  // equal-pass entries keep FIFO semantics.
+  return std::min_element(queue_.begin(), queue_.end(),
+                          [](const QueuedJob& a, const QueuedJob& b) {
+                            return a.pass != b.pass ? a.pass < b.pass
+                                                    : a.ticket < b.ticket;
+                          });
+}
+
+void AdmissionController::ChargeClientLocked(Client* client, QueuedJob* job) {
+  uint32_t weight = std::min(std::max(client->weight, 1u), 64u);
+  // An idle client rejoins at the current virtual time: it competes fairly
+  // from now on instead of replaying the passes it never used.
+  client->pass = std::max(client->pass, vtime_);
+  job->pass = client->pass;
+  job->ticket = next_ticket_++;
+  client->pass += kStrideUnit / weight;
+}
+
+void AdmissionController::PumpLocked() {
+  // Issue leases to blocking callers at the head of the stride queue while
+  // capacity lasts. Stops at the first async entry: that one belongs to a
+  // runner thread, and granting a later blocking entry past it would break
+  // the pass order the whole scheduler is built on.
+  bool granted = false;
+  while (!paused_ && active_ < slots() && !queue_.empty()) {
+    auto it = MinEntryLocked();
+    if (it->gate == nullptr) break;
+    it->gate->granted = true;
+    granted = true;
+    vtime_ = std::max(vtime_, it->pass);
+    ++active_;
+    ++counters_.blocking_admitted;
+    queue_.erase(it);
+  }
+  // The grantee sleeps on cv_ — wake it here, not at the caller's
+  // convenience: a runner that pumps and then loops back to wait would
+  // otherwise leave the granted lease sleeping until an unrelated event.
+  if (granted) cv_.notify_all();
 }
 
 uint64_t AdmissionController::Submit(Client* client, JobFn fn) {
   uint64_t ticket;
   {
     std::lock_guard<std::mutex> lk(mu_);
-    ticket = next_ticket_++;
-    uint32_t weight = std::min(std::max(client->weight, 1u), 64u);
-    // An idle client rejoins at the current virtual time: it competes
-    // fairly from now on instead of replaying the passes it never used.
-    client->pass = std::max(client->pass, vtime_);
     QueuedJob job;
-    job.pass = client->pass;
-    job.ticket = ticket;
+    ChargeClientLocked(client, &job);
+    ticket = job.ticket;
     job.fn = std::move(fn);
-    client->pass += kStrideUnit / weight;
     queue_.push_back(std::move(job));
     ++counters_.submitted;
-    counters_.max_queued = std::max<uint64_t>(counters_.max_queued,
-                                              queue_.size());
+    counters_.max_queued =
+        std::max<uint64_t>(counters_.max_queued, queue_.size());
   }
-  cv_.notify_one();
+  cv_.notify_all();
   return ticket;
 }
 
@@ -59,6 +105,50 @@ bool AdmissionController::TryRemove(uint64_t ticket) {
   return true;
 }
 
+bool AdmissionController::EnterBlocking(Client* client) {
+  std::unique_lock<std::mutex> lk(mu_);
+  if (stop_) return false;
+  QueuedJob job;
+  ChargeClientLocked(client, &job);
+  if (!paused_ && queue_.empty() && active_ < slots()) {
+    // Uncontended fast path: lease immediately, nothing to park.
+    vtime_ = std::max(vtime_, job.pass);
+    ++active_;
+    ++counters_.blocking_admitted;
+    return true;
+  }
+  auto gate = std::make_shared<BlockingGate>();
+  job.gate = gate;
+  queue_.push_back(std::move(job));
+  counters_.max_queued =
+      std::max<uint64_t>(counters_.max_queued, queue_.size());
+  ++blocking_waiters_;
+  PumpLocked();  // the new entry may already be grantable
+  cv_.wait(lk, [&] { return gate->granted || stop_; });
+  --blocking_waiters_;
+  bool leased = gate->granted;
+  if (!leased) {
+    // Shutdown while parked: drop the queue entry if the destructor's swap
+    // did not already take it, and wake the destructor's waiters gate.
+    auto it = std::find_if(queue_.begin(), queue_.end(), [&](const QueuedJob& j) {
+      return j.gate == gate;
+    });
+    if (it != queue_.end()) queue_.erase(it);
+  }
+  lk.unlock();
+  cv_.notify_all();
+  return leased;
+}
+
+void AdmissionController::ExitBlocking() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (active_ > 0) --active_;
+    PumpLocked();
+  }
+  cv_.notify_all();
+}
+
 void AdmissionController::Pause() {
   std::lock_guard<std::mutex> lk(mu_);
   paused_ = true;
@@ -68,6 +158,7 @@ void AdmissionController::Resume() {
   {
     std::lock_guard<std::mutex> lk(mu_);
     paused_ = false;
+    PumpLocked();
   }
   cv_.notify_all();
 }
@@ -83,23 +174,29 @@ void AdmissionController::RunnerLoop() {
     uint64_t seq;
     {
       std::unique_lock<std::mutex> lk(mu_);
-      cv_.wait(lk, [&] { return stop_ || (!paused_ && !queue_.empty()); });
+      cv_.wait(lk, [&] {
+        return stop_ || (!paused_ && active_ < slots() && !queue_.empty());
+      });
       if (stop_) return;
-      // Dispatch the smallest pass; submission order (ticket) breaks ties,
-      // so equal-pass jobs keep FIFO semantics.
-      auto it = std::min_element(queue_.begin(), queue_.end(),
-                                 [](const QueuedJob& a, const QueuedJob& b) {
-                                   return a.pass != b.pass
-                                              ? a.pass < b.pass
-                                              : a.ticket < b.ticket;
-                                 });
+      PumpLocked();  // leases at the head of the queue go first
+      if (paused_ || active_ >= slots() || queue_.empty()) continue;
+      auto it = MinEntryLocked();
+      // After the pump the minimum entry is async (blocking heads were
+      // granted while capacity lasted).
       job = std::move(*it);
       queue_.erase(it);
       vtime_ = std::max(vtime_, job.pass);
       seq = ++dispatch_seq_;
       ++counters_.dispatched;
+      ++active_;
     }
     job.fn(seq, /*cancelled=*/false);
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (active_ > 0) --active_;
+      PumpLocked();
+    }
+    cv_.notify_all();
   }
 }
 

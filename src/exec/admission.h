@@ -4,25 +4,32 @@
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
 
 namespace hique::exec {
 
-/// Priority-weighted admission control for asynchronously submitted
-/// queries: a fixed number of slots (runner threads) executes queued jobs
-/// in stride-scheduling order, placed in front of the shared WorkerPool so
-/// concurrent sessions get access proportional to their weights instead of
-/// free-for-all interleaving.
+/// Priority-weighted admission control for submitted queries: a fixed
+/// number of concurrency slots is shared by asynchronously submitted jobs
+/// (executed on the controller's runner threads) and blocking callers
+/// (admitted in place through a lease), placed in front of the shared
+/// WorkerPool so concurrent sessions get access proportional to their
+/// weights instead of free-for-all interleaving.
 ///
 /// Stride scheduling: every client (session) carries a virtual-time `pass`
 /// that advances by kStrideUnit / weight per submitted job; the dispatcher
-/// always picks the queued job with the smallest pass (submission order
+/// always picks the queued entry with the smallest pass (submission order
 /// breaks ties). A weight-4 session therefore dispatches four jobs for
 /// every one a weight-1 session dispatches while both keep the queue
 /// non-empty — and an idle session rejoining is clamped to the current
 /// virtual time, so it cannot hoard a backlog of cheap passes.
+///
+/// Blocking leases and async jobs wait in the same stride queue, so a
+/// storm of blocking submissions cannot starve async slots (or vice
+/// versa): both kinds drain strictly in pass order against one shared
+/// `slots` concurrency cap.
 class AdmissionController {
  public:
   /// Pass advance per job for weight 1; weight w advances by kStrideUnit/w.
@@ -35,7 +42,7 @@ class AdmissionController {
   using JobFn = std::function<void(uint64_t dispatch_seq, bool cancelled)>;
 
   /// Per-session scheduling state. Owned by the session, mutated only by
-  /// Submit (under the controller lock).
+  /// Submit/EnterBlocking (under the controller lock).
   struct Client {
     uint32_t weight = 1;  // clamped to [1, 64]
     uint64_t pass = 0;
@@ -47,7 +54,7 @@ class AdmissionController {
   AdmissionController(const AdmissionController&) = delete;
   AdmissionController& operator=(const AdmissionController&) = delete;
 
-  uint32_t slots() const { return static_cast<uint32_t>(runners_.size()); }
+  uint32_t slots() const { return slots_; }
 
   /// Enqueues a job for `client` and returns its ticket (nonzero).
   uint64_t Submit(Client* client, JobFn fn);
@@ -57,36 +64,61 @@ class AdmissionController {
   /// or is running.
   bool TryRemove(uint64_t ticket);
 
-  /// Stops dispatching queued jobs (running jobs finish). Used to drain
-  /// the engine for maintenance and to make scheduling order observable
-  /// in tests.
+  /// Blocking admission: waits in the same stride queue as async jobs
+  /// until one of the `slots` concurrency leases is free, then returns
+  /// with the lease held — the caller executes its query inline and must
+  /// call ExitBlocking exactly once afterwards. Returns false (no lease
+  /// taken, do not call ExitBlocking) only when the controller is shutting
+  /// down. While the scheduler is paused, blocking admissions hold too.
+  bool EnterBlocking(Client* client);
+  void ExitBlocking();
+
+  /// Stops dispatching queued work (running jobs and granted leases
+  /// finish). Used to drain the engine for maintenance and to make
+  /// scheduling order observable in tests.
   void Pause();
   void Resume();
 
   struct Counters {
     uint64_t submitted = 0;
-    uint64_t dispatched = 0;
-    uint64_t removed = 0;    // cancelled while still queued
+    uint64_t dispatched = 0;  // async jobs handed to a runner
+    uint64_t removed = 0;     // cancelled while still queued
+    uint64_t blocking_admitted = 0;  // leases granted to blocking callers
     uint64_t max_queued = 0;  // high-water mark of the queue depth
   };
   Counters counters() const;
 
  private:
+  /// A blocking caller parked in the stride queue: granted flips under the
+  /// controller lock when its lease is issued.
+  struct BlockingGate {
+    bool granted = false;
+  };
+
   struct QueuedJob {
     uint64_t pass = 0;
     uint64_t ticket = 0;
-    JobFn fn;
+    JobFn fn;                           // async entries
+    std::shared_ptr<BlockingGate> gate; // blocking entries (fn empty)
   };
 
   void RunnerLoop();
 
+  // All require mu_ held.
+  std::vector<QueuedJob>::iterator MinEntryLocked();
+  void ChargeClientLocked(Client* client, QueuedJob* job);
+  void PumpLocked();  // grant leading blocking entries while capacity lasts
+
   mutable std::mutex mu_;
   std::condition_variable cv_;
+  uint32_t slots_ = 1;  // fixed at construction, before the runners start
   std::vector<std::thread> runners_;
   std::vector<QueuedJob> queue_;
   bool paused_ = false;
   bool stop_ = false;
-  uint64_t vtime_ = 0;       // pass of the most recently dispatched job
+  uint32_t active_ = 0;      // running async jobs + outstanding leases
+  uint32_t blocking_waiters_ = 0;  // parked EnterBlocking callers
+  uint64_t vtime_ = 0;       // pass of the most recently dispatched entry
   uint64_t next_ticket_ = 1;
   uint64_t dispatch_seq_ = 0;
   Counters counters_;

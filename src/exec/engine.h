@@ -111,11 +111,14 @@ struct EngineOptions {
   // OOM error; in a parallel run the failing worker cancels the remaining
   // tasks at the next barrier.
   uint64_t arena_limit_bytes = 0;
-  // Concurrent slots of the admission-control scheduler behind
-  // Session::SubmitAsync: at most this many asynchronously submitted
-  // queries execute at once; the rest queue in priority-weighted
-  // (stride-scheduling) order. Blocking Query/Execute calls are not
-  // admission-controlled.
+  // Concurrent slots of the admission-control scheduler: at most this many
+  // admitted queries execute at once; the rest queue in priority-weighted
+  // (stride-scheduling) order. Both Session::SubmitAsync jobs and blocking
+  // Session::Query/Execute calls are admitted through the same queue (a
+  // blocking storm cannot starve async slots, and vice versa). Streaming
+  // cursors (QueryStream/ExecuteStream) are not admission-controlled: a
+  // slow consumer would pin a slot for the cursor's whole lifetime —
+  // their throttling is the bounded stream buffer instead.
   uint32_t async_slots = 2;
   // Default bound on completed result pages a streaming ResultSet buffers
   // ahead of the consumer (SessionOptions::stream_buffer_pages == 0
@@ -124,6 +127,27 @@ struct EngineOptions {
   // (buffered + one being filled + one held by the reader) regardless of
   // result cardinality.
   uint32_t stream_buffer_pages = 4;
+  // Server-facing defaults consumed by the hiqued wire front-end
+  // (net::Server): where to listen and how many concurrent client
+  // connections to accept. listen_port 0 binds an ephemeral port (the
+  // server reports the resolved one). The engine itself never opens a
+  // socket; these only seed net::ServerOptions.
+  std::string listen_address = "127.0.0.1";
+  uint16_t listen_port = 0;
+  uint32_t max_connections = 64;
+};
+
+/// Per-session admission and activity metrics (Session::Stats). Wait time
+/// is the total time this session's statements spent queued in the
+/// admission scheduler before dispatch — blocking Query/Execute leases and
+/// SubmitAsync jobs both count. The wire protocol reports these in the
+/// Close summary frame, so remote clients see their own admission costs.
+struct SessionStats {
+  uint64_t submitted = 0;       // statements handed to the admission queue
+  uint64_t dispatched = 0;      // statements granted a slot (async + blocking)
+  uint64_t queue_depth = 0;     // currently queued, not yet dispatched
+  double total_wait_ms = 0;     // cumulative queue wait across dispatches
+  uint64_t streams_opened = 0;  // cursors opened (QueryStream/ExecuteStream)
 };
 
 /// Per-session execution settings: every statement a Session runs inherits
@@ -245,6 +269,37 @@ class ResultSet {
   /// Execution counters; complete once the stream has ended.
   const exec::ExecStats& exec_stats() const;
 
+  /// ---- Page-granular transport hooks (the hiqued wire server) ----------
+  /// A cursor can be drained page-at-a-time instead of row-at-a-time: the
+  /// sealed result page travels from the generated code to the socket
+  /// serializer without any per-row boxing or re-materialization. Page
+  /// access and row access (Next) must not be mixed on one cursor.
+  enum class PagePoll {
+    kPage,     // *page holds the next completed page (ownership transfers)
+    kPending,  // producer still computing; try again (non-blocking only)
+    kEnd,      // stream over — status() tells success from failure
+  };
+
+  /// Blocking page pull: the next completed result page (ownership to the
+  /// caller — hand it back through RecyclePage, or std::free it), or null
+  /// at end of stream.
+  Page* TakePage();
+
+  /// Non-blocking variant for event-loop servers: never waits on the
+  /// producer. kPending means the socket side should poll again shortly.
+  PagePoll TryTakePage(Page** page);
+
+  /// Returns a drained page to the stream's free-list so the producer
+  /// reuses it instead of malloc'ing a fresh one (bounded; overflow frees).
+  /// Safe for any 4096-aligned page the cursor handed out.
+  void RecyclePage(Page* page);
+
+  /// Page-allocation telemetry: fresh allocations vs. free-list reuses
+  /// over the cursor's lifetime. In steady state a bounded stream allocates
+  /// only O(stream_buffer_pages) fresh pages regardless of result size.
+  uint64_t pages_allocated() const;
+  uint64_t pages_recycled() const;
+
  public:
   /// Opaque stream state (defined in the session implementation).
   struct Stream;
@@ -332,6 +387,12 @@ class Session {
   QueryHandle SubmitAsync(const std::string& sql);
   QueryHandle SubmitAsync(const PreparedStatement& stmt,
                           const std::vector<Value>& values = {});
+
+  /// Admission and activity metrics for this session: queue depth, total
+  /// time spent waiting for an admission slot, dispatched/submitted
+  /// counts, cursors opened. Cheap (atomic reads); callable concurrently
+  /// with running statements.
+  SessionStats Stats() const;
 
   /// Cancels this session's in-flight work: queued async queries are
   /// dequeued, running ones are interrupted, open cursors are cancelled

@@ -33,17 +33,24 @@ constexpr const char* kCancelledMsg = "query cancelled";
 /// after the entry returns (hq_result_close sealed it).
 struct StreamSink {
   const ResultPageFn* on_page = nullptr;
+  const PageAllocFn* alloc_page = nullptr;  // null/empty => posix_memalign
   HqQueryCtx* ctx = nullptr;
   Page* current = nullptr;
 
   static HqPage* NewPage(void* self) {
     auto* sink = static_cast<StreamSink*>(self);
     if (!sink->Flush()) return nullptr;
-    void* mem = nullptr;
-    if (posix_memalign(&mem, kPageSize, kPageSize) != 0 || mem == nullptr) {
-      return nullptr;
+    Page* page = nullptr;
+    if (sink->alloc_page != nullptr && *sink->alloc_page) {
+      page = (*sink->alloc_page)();
+      if (page == nullptr) return nullptr;
+    } else {
+      void* mem = nullptr;
+      if (posix_memalign(&mem, kPageSize, kPageSize) != 0 || mem == nullptr) {
+        return nullptr;
+      }
+      page = static_cast<Page*>(mem);
     }
-    Page* page = static_cast<Page*>(mem);
     // Zero the whole page, not just the header: record padding bytes then
     // never carry heap garbage, so result pages are byte-deterministic
     // (parallel runs compare bit-identical to serial ones).
@@ -270,7 +277,8 @@ Result<int64_t> ExecuteEntryStreaming(const std::vector<Table*>& tables,
                                       HqEntryFn entry, const HqParams* params,
                                       ExecStats* stats,
                                       const ParallelRuntime& par,
-                                      const ResultPageFn& on_page) {
+                                      const ResultPageFn& on_page,
+                                      const PageAllocFn& alloc_page) {
   // Pin every base table in memory (main-memory execution, paper §VI).
   std::vector<PinnedPages> pinned(tables.size());
   std::vector<std::vector<uint8_t*>> page_ptrs(tables.size());
@@ -339,6 +347,7 @@ Result<int64_t> ExecuteEntryStreaming(const std::vector<Table*>& tables,
 
   StreamSink sink;
   sink.on_page = &on_page;
+  sink.alloc_page = &alloc_page;
   sink.ctx = &ctx;
   ctx.result_new_page = &StreamSink::NewPage;
   ctx.result_sink = &sink;

@@ -112,6 +112,13 @@ Result<std::unique_ptr<Table>> ExecuteEntryOnTables(
 /// the executor records HQ_ERR_CANCELLED and the generated code unwinds.
 using ResultPageFn = std::function<bool(Page*)>;
 
+/// Supplies 4096-aligned result-page memory to the streaming executor
+/// (contents may be garbage — the sink zeroes every page before the
+/// generated code sees it). Null function => posix_memalign per page;
+/// returning null signals allocation failure. The session layer plugs the
+/// StreamCore free-list in here so drained cursor pages are reused.
+using PageAllocFn = std::function<Page*()>;
+
 /// The streaming execution core: pins the base tables, runs the compiled
 /// entry, and hands each result page to `on_page` as soon as the generated
 /// code completes it — the full result is never materialized inside the
@@ -123,7 +130,8 @@ Result<int64_t> ExecuteEntryStreaming(const std::vector<Table*>& tables,
                                       HqEntryFn entry, const HqParams* params,
                                       ExecStats* stats,
                                       const ParallelRuntime& par,
-                                      const ResultPageFn& on_page);
+                                      const ResultPageFn& on_page,
+                                      const PageAllocFn& alloc_page = {});
 
 }  // namespace hique::exec
 

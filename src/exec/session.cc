@@ -16,6 +16,44 @@ namespace hique {
 
 // ---- StreamCore ------------------------------------------------------------
 
+StreamCore::~StreamCore() {
+  for (Page* p : queue) std::free(p);
+  for (Page* p : free_pages) std::free(p);
+}
+
+Page* StreamCore::AcquirePage() {
+  {
+    std::lock_guard<std::mutex> lk(mu);
+    if (!free_pages.empty()) {
+      Page* page = free_pages.back();
+      free_pages.pop_back();
+      ++pages_recycled;
+      return page;
+    }
+    ++pages_allocated;
+  }
+  void* mem = nullptr;
+  if (posix_memalign(&mem, kPageSize, kPageSize) != 0 || mem == nullptr) {
+    return nullptr;
+  }
+  return static_cast<Page*>(mem);
+}
+
+void StreamCore::Recycle(Page* page) {
+  if (page == nullptr) return;
+  {
+    std::lock_guard<std::mutex> lk(mu);
+    // The free-list is bounded by the residency bound: the producer can
+    // never have more pages in flight than that, so anything beyond it
+    // would sit idle until the stream ends.
+    if (free_pages.size() < capacity + 2) {
+      free_pages.push_back(page);
+      return;
+    }
+  }
+  std::free(page);
+}
+
 bool StreamCore::Push(Page* page) {
   std::unique_lock<std::mutex> lk(mu);
   cv.wait(lk, [&] { return closed || queue.size() < capacity; });
@@ -56,6 +94,28 @@ Page* StreamCore::Pop() {
     return page;
   }
   return nullptr;
+}
+
+bool StreamCore::TryPop(Page** out, bool* ended) {
+  std::unique_lock<std::mutex> lk(mu);
+  if (!queue.empty()) {
+    *out = queue.front();
+    queue.pop_front();
+    lk.unlock();
+    cv.notify_all();
+    return true;
+  }
+  if (finished || closed) {
+    *out = nullptr;
+    *ended = true;
+    return true;
+  }
+  return false;
+}
+
+void StreamCore::WaitReadable() {
+  std::unique_lock<std::mutex> lk(mu);
+  cv.wait(lk, [&] { return !queue.empty() || finished || closed; });
 }
 
 void StreamCore::CancelAndClose() {
@@ -143,7 +203,8 @@ Status SessionImpl::Launch(ResultSet::Stream* s) {
     auto rows = exec::ExecuteEntryStreaming(
         raw->state->plan->query->tables, raw->state->plan->output_schema,
         raw->library->entry(), &raw->bound.abi, &stats, raw->par,
-        [&core](Page* page) { return core->Push(page); });
+        [&core](Page* page) { return core->Push(page); },
+        [&core]() { return core->AcquirePage(); });
     if (rows.ok()) {
       core->Finish(Status::OK(), rows.value(), stats);
     } else {
@@ -214,49 +275,78 @@ QueryResult SessionImpl::AssembleResult(ResultSet::Stream* s,
   return result;
 }
 
+/// End of stream: the producer finished and the queue drained. Collects
+/// the outcome, runs the one-shot map-overflow restart (true: a fresh
+/// producer is live, keep pulling from the new core), or seals the
+/// stream's done/end_status (false).
+bool SessionImpl::FinishStream(ResultSet::Stream* s) {
+  if (s->producer.joinable()) s->producer.join();
+  Status status;
+  exec::ExecStats stats;
+  uint64_t delivered;
+  uint32_t peak;
+  {
+    std::lock_guard<std::mutex> lk(s->core->mu);
+    status = s->core->final_status;
+    stats = s->core->stats;
+    delivered = s->core->pages_delivered;
+    peak = s->core->peak_resident;
+  }
+  if (peak > s->stats_peak_pages) s->stats_peak_pages = peak;
+  if (status.ok()) {
+    s->stats = stats;
+    s->timings.execute_ms = s->exec_timer.ElapsedMillis();
+    s->done = true;
+    s->end_status = Status::OK();
+    if (s->restarted && !s->is_execute) {
+      s->engine->InstallOverflowAlias(s->failed_signature, s->failed_params,
+                                      *s->state);
+    }
+    return false;
+  }
+  if (exec::IsMapOverflow(status) && !s->restarted && delivered == 0) {
+    // Stale statistics: directories overflowed before any page was
+    // emitted. Re-plan with hybrid aggregation and retry once.
+    s->restarted = true;
+    {
+      // The doomed core is about to be replaced: fold its allocation
+      // telemetry so the cursor's lifetime counters stay complete.
+      std::lock_guard<std::mutex> lk(s->core->mu);
+      s->acc_pages_allocated += s->core->pages_allocated;
+      s->acc_pages_recycled += s->core->pages_recycled;
+    }
+    Status restart = RestartWithHybrid(s);
+    if (restart.ok()) return true;
+    status = restart;
+  }
+  s->stats = stats;
+  s->timings.execute_ms = s->exec_timer.ElapsedMillis();
+  s->done = true;
+  s->end_status = std::move(status);
+  return false;
+}
+
 Page* SessionImpl::PullPage(ResultSet::Stream* s) {
   if (s->done) return nullptr;
   for (;;) {
     Page* page = s->core->Pop();
     if (page != nullptr) return page;
-    // End of stream: collect the outcome under the core lock.
-    if (s->producer.joinable()) s->producer.join();
-    Status status;
-    exec::ExecStats stats;
-    uint64_t delivered;
-    uint32_t peak;
-    {
-      std::lock_guard<std::mutex> lk(s->core->mu);
-      status = s->core->final_status;
-      stats = s->core->stats;
-      delivered = s->core->pages_delivered;
-      peak = s->core->peak_resident;
-    }
-    if (peak > s->stats_peak_pages) s->stats_peak_pages = peak;
-    if (status.ok()) {
-      s->stats = stats;
-      s->timings.execute_ms = s->exec_timer.ElapsedMillis();
-      s->done = true;
-      s->end_status = Status::OK();
-      if (s->restarted && !s->is_execute) {
-        s->engine->InstallOverflowAlias(s->failed_signature, s->failed_params,
-                                        *s->state);
-      }
-      return nullptr;
-    }
-    if (exec::IsMapOverflow(status) && !s->restarted && delivered == 0) {
-      // Stale statistics: directories overflowed before any page was
-      // emitted. Re-plan with hybrid aggregation and retry once.
-      s->restarted = true;
-      Status restart = RestartWithHybrid(s);
-      if (restart.ok()) continue;
-      status = restart;
-    }
-    s->stats = stats;
-    s->timings.execute_ms = s->exec_timer.ElapsedMillis();
-    s->done = true;
-    s->end_status = std::move(status);
-    return nullptr;
+    if (!FinishStream(s)) return nullptr;
+  }
+}
+
+ResultSet::PagePoll SessionImpl::TryPullPage(ResultSet::Stream* s,
+                                             Page** page) {
+  *page = nullptr;
+  if (s->done) return ResultSet::PagePoll::kEnd;
+  for (;;) {
+    bool ended = false;
+    if (!s->core->TryPop(page, &ended)) return ResultSet::PagePoll::kPending;
+    if (*page != nullptr) return ResultSet::PagePoll::kPage;
+    // Producer finished (or the stream was closed): resolve the outcome.
+    // A successful map-overflow restart leaves a fresh producer running —
+    // report kPending so the event loop polls the new core.
+    if (!FinishStream(s)) return ResultSet::PagePoll::kEnd;
   }
 }
 
@@ -358,6 +448,7 @@ Result<ResultSet> SessionImpl::OpenQueryStream(
                       BuildQueryStream(engine, session, sql, planner,
                                        cacheable, external_cancel));
   HQ_RETURN_IF_ERROR(Launch(stream.get()));
+  session->stat_streams_opened.fetch_add(1, std::memory_order_relaxed);
   ResultSet rs;
   rs.stream_ = std::move(stream);
   return rs;
@@ -371,9 +462,42 @@ Result<ResultSet> SessionImpl::OpenExecuteStream(
                       BuildExecuteStream(engine, session, stmt, values,
                                          external_cancel));
   HQ_RETURN_IF_ERROR(Launch(stream.get()));
+  session->stat_streams_opened.fetch_add(1, std::memory_order_relaxed);
   ResultSet rs;
   rs.stream_ = std::move(stream);
   return rs;
+}
+
+// ---- Admission accounting --------------------------------------------------
+
+/// Debits the session's queue-depth gauge exactly once per async job, no
+/// matter which path settles it (dispatch, Cancel dequeue, session close,
+/// controller shutdown).
+static void DebitQueued(const std::shared_ptr<QueryHandle::AsyncState>& s) {
+  bool expected = false;
+  if (!s->dequeued.compare_exchange_strong(expected, true)) return;
+  if (auto session = s->session.lock()) {
+    session->stat_queued.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+SessionImpl::AdmissionLease::AdmissionLease(
+    const std::shared_ptr<Session::State>& session) {
+  if (session == nullptr || session->engine == nullptr) return;
+  controller_ = session->engine->admission();
+  session->stat_submitted.fetch_add(1, std::memory_order_relaxed);
+  session->stat_queued.fetch_add(1, std::memory_order_relaxed);
+  WallTimer wait;
+  leased_ = controller_->EnterBlocking(&session->client);
+  session->stat_queued.fetch_sub(1, std::memory_order_relaxed);
+  session->stat_dispatched.fetch_add(1, std::memory_order_relaxed);
+  session->stat_wait_micros.fetch_add(wait.ElapsedMicros(),
+                                      std::memory_order_relaxed);
+  if (!leased_) controller_ = nullptr;  // shutting down: nothing to release
+}
+
+SessionImpl::AdmissionLease::~AdmissionLease() {
+  if (controller_ != nullptr) controller_->ExitBlocking();
 }
 
 Result<QueryResult> SessionImpl::DrainInline(ResultSet::Stream* s) {
@@ -465,6 +589,7 @@ QueryHandle SessionImpl::Submit(
     std::function<Result<QueryResult>(std::atomic<int32_t>*)> run) {
   auto state = std::make_shared<QueryHandle::AsyncState>();
   state->controller = engine->admission();
+  state->session = session;
   {
     std::lock_guard<std::mutex> lk(session->mu);
     auto& asyncs = session->asyncs;
@@ -482,11 +607,19 @@ QueryHandle SessionImpl::Submit(
       return handle;
     }
   }
-  auto job = [state, run = std::move(run)](uint64_t seq, bool cancelled) {
+  session->stat_submitted.fetch_add(1, std::memory_order_relaxed);
+  session->stat_queued.fetch_add(1, std::memory_order_relaxed);
+  WallTimer queue_wait;
+  auto job = [state, session, queue_wait,
+              run = std::move(run)](uint64_t seq, bool cancelled) {
+    DebitQueued(state);
     if (cancelled || state->cancel.load(std::memory_order_acquire) != 0) {
       SettleCancelled(state);
       return;
     }
+    session->stat_dispatched.fetch_add(1, std::memory_order_relaxed);
+    session->stat_wait_micros.fetch_add(queue_wait.ElapsedMicros(),
+                                        std::memory_order_relaxed);
     state->dispatch_seq.store(seq, std::memory_order_release);
     auto result = run(&state->cancel);
     {
@@ -532,6 +665,7 @@ const Schema& ResultSet::schema() const {
 bool ResultSet::Next() {
   if (!valid()) return false;
   Stream* s = stream_.get();
+  HQ_CHECK_MSG(!s->page_mode, "row access on a page-mode cursor");
   s->iterating = true;
   for (;;) {
     if (s->page != nullptr) {
@@ -546,14 +680,65 @@ bool ResultSet::Next() {
         ++s->rows_read;
         return true;
       }
-      // Page exhausted (or defensively empty): release it.
-      std::free(s->page);
+      // Page exhausted (or defensively empty): hand it back to the
+      // producer's free-list so the next result page reuses its memory.
+      s->core->Recycle(s->page);
       s->page = nullptr;
       s->row_valid = false;
     }
     s->page = SessionImpl::PullPage(s);
     if (s->page == nullptr) return false;
   }
+}
+
+Page* ResultSet::TakePage() {
+  if (!valid()) return nullptr;
+  Stream* s = stream_.get();
+  HQ_CHECK_MSG(!s->iterating, "page access on a row-iterating cursor");
+  s->page_mode = true;
+  Page* page = SessionImpl::PullPage(s);
+  if (page != nullptr) s->rows_read += page->num_tuples;
+  return page;
+}
+
+ResultSet::PagePoll ResultSet::TryTakePage(Page** page) {
+  *page = nullptr;
+  if (!valid()) return PagePoll::kEnd;
+  Stream* s = stream_.get();
+  HQ_CHECK_MSG(!s->iterating, "page access on a row-iterating cursor");
+  s->page_mode = true;
+  PagePoll poll = SessionImpl::TryPullPage(s, page);
+  if (poll == PagePoll::kPage) s->rows_read += (*page)->num_tuples;
+  return poll;
+}
+
+void ResultSet::RecyclePage(Page* page) {
+  if (page == nullptr) return;
+  if (valid() && stream_->core != nullptr) {
+    stream_->core->Recycle(page);
+  } else {
+    std::free(page);
+  }
+}
+
+uint64_t ResultSet::pages_allocated() const {
+  if (!valid()) return 0;
+  uint64_t n = stream_->acc_pages_allocated;
+  if (stream_->core != nullptr) {
+    std::lock_guard<std::mutex> lk(stream_->core->mu);
+    n += stream_->core->pages_allocated;
+  }
+  return n;
+}
+
+uint64_t ResultSet::pages_recycled() const {
+  if (!valid()) return 0;
+  uint64_t n = stream_->acc_pages_recycled;
+  if (stream_->core != nullptr) {
+    std::lock_guard<std::mutex> lk(stream_->core->mu);
+    n += stream_->core->pages_recycled;
+  }
+  return n;
 }
 
 const uint8_t* ResultSet::RowBytes() const {
@@ -693,6 +878,7 @@ void QueryHandle::Cancel() {
   if (state_->controller != nullptr &&
       state_->controller->TryRemove(state_->ticket)) {
     // Dequeued before dispatch: settle the promise ourselves.
+    DebitQueued(state_);
     SessionImpl::SettleCancelled(state_);
   }
   // Otherwise the job is running (the cancel flag interrupts it at the
@@ -718,6 +904,10 @@ HiqueEngine* Session::engine() const {
 
 Result<QueryResult> Session::Query(const std::string& sql) {
   if (!valid()) return Status::InvalidArgument("invalid Session");
+  // Blocking submissions wait in the same stride queue as SubmitAsync jobs
+  // (one shared slot pool), so a storm of blocking remote clients cannot
+  // starve async slots — or the other way round.
+  SessionImpl::AdmissionLease lease(state_);
   return SessionImpl::BlockingQuery(state_->engine, state_, sql,
                                     state_->planner,
                                     state_->engine->options().cache_compiled,
@@ -727,6 +917,7 @@ Result<QueryResult> Session::Query(const std::string& sql) {
 Result<QueryResult> Session::Execute(const PreparedStatement& stmt,
                                      const std::vector<Value>& values) {
   if (!valid()) return Status::InvalidArgument("invalid Session");
+  SessionImpl::AdmissionLease lease(state_);
   return SessionImpl::BlockingExecute(state_->engine, state_, stmt, values,
                                       nullptr);
 }
@@ -778,6 +969,19 @@ QueryHandle Session::SubmitAsync(const PreparedStatement& stmt,
       });
 }
 
+SessionStats Session::Stats() const {
+  SessionStats st;
+  if (!valid()) return st;
+  st.submitted = state_->stat_submitted.load(std::memory_order_relaxed);
+  st.dispatched = state_->stat_dispatched.load(std::memory_order_relaxed);
+  st.queue_depth = state_->stat_queued.load(std::memory_order_relaxed);
+  st.total_wait_ms =
+      state_->stat_wait_micros.load(std::memory_order_relaxed) / 1000.0;
+  st.streams_opened =
+      state_->stat_streams_opened.load(std::memory_order_relaxed);
+  return st;
+}
+
 void Session::Close() {
   if (!valid()) return;
   std::vector<std::shared_ptr<StreamCore>> cores;
@@ -803,6 +1007,7 @@ void Session::Close() {
   for (auto& a : asyncs) {
     a->cancel.store(1, std::memory_order_release);
     if (a->controller != nullptr && a->controller->TryRemove(a->ticket)) {
+      DebitQueued(a);
       SessionImpl::SettleCancelled(a);
     }
   }

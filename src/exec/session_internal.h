@@ -49,6 +49,7 @@ struct PreparedStatement::State {
 /// result-page residency, independent of result cardinality.
 struct StreamCore {
   explicit StreamCore(uint32_t cap) : capacity(cap < 1 ? 1 : cap) {}
+  ~StreamCore();
 
   std::mutex mu;
   std::condition_variable cv;
@@ -62,6 +63,15 @@ struct StreamCore {
   uint64_t pages_delivered = 0;
   uint32_t peak_resident = 0;
 
+  // Backpressure-aware page recycling: pages the consumer drained return
+  // here and the producer's next result page is carved from this free-list
+  // instead of a fresh posix_memalign — in steady state a bounded stream
+  // allocates only O(capacity) pages no matter how large the result is.
+  // Bounded at capacity + 2 (the residency bound); overflow is freed.
+  std::vector<Page*> free_pages;
+  uint64_t pages_allocated = 0;  // fresh posix_memalign calls
+  uint64_t pages_recycled = 0;   // free-list reuses
+
   // The flag the executor polls: &cancel, or the async job's flag.
   std::atomic<int32_t> cancel{0};
   std::atomic<int32_t>* cancel_flag = &cancel;
@@ -71,12 +81,29 @@ struct StreamCore {
   /// freed and the query unwinds with HQ_ERR_CANCELLED).
   bool Push(Page* page);
 
+  /// Producer side: a 4096-aligned page from the free-list, or a fresh
+  /// allocation (null on allocation failure). Contents are undefined —
+  /// the executor's sink zeroes every page it hands to generated code.
+  Page* AcquirePage();
+
+  /// Consumer side: hands a drained page back to the free-list (or frees
+  /// it when the list is full). Accepts null.
+  void Recycle(Page* page);
+
   /// Producer side: final outcome of the execution.
   void Finish(Status status, int64_t row_count, const exec::ExecStats& s);
 
   /// Consumer side: next page (ownership transfers to the caller), or
   /// null once the producer finished and the buffer drained.
   Page* Pop();
+
+  /// Non-blocking Pop for event-loop consumers: true with *out set when a
+  /// page (or the end of stream, *out == null with `ended` true) is
+  /// available right now; false when the producer is still computing.
+  bool TryPop(Page** out, bool* ended);
+
+  /// Consumer side: wait until Pop/TryPop would make progress.
+  void WaitReadable();
 
   /// Consumer/session side: request cancellation and wake both ends.
   void CancelAndClose();
@@ -88,6 +115,14 @@ struct Session::State {
   plan::PlannerOptions planner;     // effective planner for this session
   uint32_t stream_buffer_pages = 4; // resolved page-buffer bound
   exec::AdmissionController::Client client;  // stride-scheduling state
+
+  // Admission metrics behind Session::Stats(): maintained with atomics so
+  // concurrent statements and a remote Stats probe never contend.
+  std::atomic<uint64_t> stat_submitted{0};
+  std::atomic<uint64_t> stat_dispatched{0};
+  std::atomic<uint64_t> stat_queued{0};
+  std::atomic<int64_t> stat_wait_micros{0};
+  std::atomic<uint64_t> stat_streams_opened{0};
 
   std::mutex mu;
   std::vector<std::weak_ptr<StreamCore>> streams;
@@ -106,6 +141,10 @@ struct QueryHandle::AsyncState {
   std::atomic<uint64_t> dispatch_seq{0};
   exec::AdmissionController* controller = nullptr;
   uint64_t ticket = 0;
+  // For queue-depth accounting: the session is debited once, whether the
+  // job dispatches, is dequeued by Cancel, or settles at session close.
+  std::weak_ptr<Session::State> session;
+  std::atomic<bool> dequeued{false};
 };
 
 /// Everything one streaming execution owns: the pinned plan/library/param
@@ -152,10 +191,13 @@ struct ResultSet::Stream {
   bool row_valid = false;     // row_in_page addresses a consumed row
   int64_t rows_read = 0;
   bool iterating = false;     // a row was consumed (Materialize forbidden)
+  bool page_mode = false;     // Take/TryTakePage used (row access forbidden)
   bool done = false;
   Status end_status = Status::OK();
   exec::ExecStats stats;
   uint32_t stats_peak_pages = 0;  // high-water resident pages across launches
+  uint64_t acc_pages_allocated = 0;  // folded from prior cores on restart
+  uint64_t acc_pages_recycled = 0;
 
   // Stale-statistics restart bookkeeping.
   bool restarted = false;
@@ -222,6 +264,35 @@ struct SessionImpl {
   /// end of stream, the map-overflow restart, and the overflow-alias
   /// success hook. Null at end — stream->done / end_status are then set.
   static Page* PullPage(ResultSet::Stream* stream);
+
+  /// Non-blocking PullPage for event-loop consumers (the wire server):
+  /// kPending means the producer is still computing (or a map-overflow
+  /// restart just relaunched) — poll again. Same end-of-stream handling
+  /// as PullPage.
+  static ResultSet::PagePoll TryPullPage(ResultSet::Stream* stream,
+                                         Page** page);
+
+  /// Shared end-of-stream handling once the producer finished and the
+  /// queue drained: joins the producer, folds core telemetry into the
+  /// stream, runs the map-overflow restart (returns true: keep pulling)
+  /// or seals done/end_status (returns false).
+  static bool FinishStream(ResultSet::Stream* stream);
+
+  /// Blocking-admission lease for Session::Query/Execute: waits for an
+  /// admission slot (same stride queue as SubmitAsync), records the wait
+  /// in the session stats, and releases on destruction. Async jobs hold an
+  /// admission slot already, so they bypass this (external_cancel path).
+  class AdmissionLease {
+   public:
+    explicit AdmissionLease(const std::shared_ptr<Session::State>& session);
+    ~AdmissionLease();
+    AdmissionLease(const AdmissionLease&) = delete;
+    AdmissionLease& operator=(const AdmissionLease&) = delete;
+
+   private:
+    exec::AdmissionController* controller_ = nullptr;
+    bool leased_ = false;
+  };
 
   /// Copies the open-time metadata out of the (possibly restarted)
   /// prepared state into the stream.

@@ -1,0 +1,136 @@
+#include "net/serde.h"
+
+namespace hique::net {
+
+namespace {
+
+enum : uint8_t {
+  kTagNull = 0,
+  kTagInt32 = 1,
+  kTagInt64 = 2,
+  kTagDouble = 3,
+  kTagDate = 4,
+  kTagChar = 5,
+};
+
+}  // namespace
+
+void WriteNull(WireWriter* w) { w->U8(kTagNull); }
+
+void WriteValue(const Value& v, WireWriter* w) {
+  switch (v.type_id()) {
+    case TypeId::kInt32:
+      w->U8(kTagInt32);
+      w->I32(v.AsInt32());
+      return;
+    case TypeId::kInt64:
+      w->U8(kTagInt64);
+      w->I64(v.AsInt64());
+      return;
+    case TypeId::kDouble:
+      w->U8(kTagDouble);
+      w->F64(v.AsDouble());
+      return;
+    case TypeId::kDate:
+      w->U8(kTagDate);
+      w->I32(v.AsInt32());
+      return;
+    case TypeId::kChar: {
+      const std::string& s = v.AsString();
+      w->U8(kTagChar);
+      w->U16(static_cast<uint16_t>(v.type().length));
+      w->Bytes(reinterpret_cast<const uint8_t*>(s.data()), s.size());
+      return;
+    }
+  }
+}
+
+Status ReadValue(WireReader* r, Value* out, bool* is_null) {
+  *is_null = false;
+  uint8_t tag;
+  HQ_RETURN_IF_ERROR(r->U8(&tag));
+  switch (tag) {
+    case kTagNull:
+      *is_null = true;
+      *out = Value();
+      return Status::OK();
+    case kTagInt32: {
+      int32_t v;
+      HQ_RETURN_IF_ERROR(r->I32(&v));
+      *out = Value::Int32(v);
+      return Status::OK();
+    }
+    case kTagInt64: {
+      int64_t v;
+      HQ_RETURN_IF_ERROR(r->I64(&v));
+      *out = Value::Int64(v);
+      return Status::OK();
+    }
+    case kTagDouble: {
+      double v;
+      HQ_RETURN_IF_ERROR(r->F64(&v));
+      *out = Value::Double(v);
+      return Status::OK();
+    }
+    case kTagDate: {
+      int32_t v;
+      HQ_RETURN_IF_ERROR(r->I32(&v));
+      *out = Value::Date(v);
+      return Status::OK();
+    }
+    case kTagChar: {
+      uint16_t width;
+      HQ_RETURN_IF_ERROR(r->U16(&width));
+      const uint8_t* bytes;
+      HQ_RETURN_IF_ERROR(r->Bytes(width, &bytes));
+      *out = Value::Char(std::string(reinterpret_cast<const char*>(bytes),
+                                     width),
+                         width);
+      return Status::OK();
+    }
+    default:
+      return Status::IoError("unknown value tag " + std::to_string(tag));
+  }
+}
+
+void WriteSchema(const Schema& schema, WireWriter* w) {
+  w->U32(static_cast<uint32_t>(schema.NumColumns()));
+  for (size_t i = 0; i < schema.NumColumns(); ++i) {
+    const Column& c = schema.ColumnAt(i);
+    w->Str(c.name);
+    w->U8(static_cast<uint8_t>(c.type.id));
+    w->U16(c.type.length);
+  }
+  w->U32(schema.TupleSize());
+}
+
+Status ReadSchema(WireReader* r, Schema* out) {
+  uint32_t ncols;
+  HQ_RETURN_IF_ERROR(r->U32(&ncols));
+  if (ncols > 4096) return Status::IoError("implausible schema width");
+  Schema schema;
+  for (uint32_t i = 0; i < ncols; ++i) {
+    std::string name;
+    uint8_t type_id;
+    uint16_t length;
+    HQ_RETURN_IF_ERROR(r->Str(&name));
+    HQ_RETURN_IF_ERROR(r->U8(&type_id));
+    HQ_RETURN_IF_ERROR(r->U16(&length));
+    if (type_id > static_cast<uint8_t>(TypeId::kChar)) {
+      return Status::IoError("unknown column type " + std::to_string(type_id));
+    }
+    Type type{static_cast<TypeId>(type_id), length};
+    schema.AddColumn(name, type);
+  }
+  uint32_t tuple_size;
+  HQ_RETURN_IF_ERROR(r->U32(&tuple_size));
+  if (tuple_size != schema.TupleSize()) {
+    return Status::IoError("schema tuple-size mismatch: peer says " +
+                           std::to_string(tuple_size) + ", local layout is " +
+                           std::to_string(schema.TupleSize()));
+  }
+  *out = schema;
+  return Status::OK();
+}
+
+}  // namespace hique::net

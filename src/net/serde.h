@@ -1,0 +1,41 @@
+#ifndef HIQUE_NET_SERDE_H_
+#define HIQUE_NET_SERDE_H_
+
+#include "net/protocol.h"
+#include "storage/schema.h"
+#include "storage/value.h"
+
+namespace hique::net {
+
+/// Wire serialization for the engine-boundary value and schema types.
+/// Values appear on the wire only at statement boundaries (Execute
+/// parameters); result rows travel as raw NSM tuple pages, which is the
+/// whole point of the protocol — the generated code's output bytes reach
+/// the client socket without per-row boxing.
+///
+/// Value encoding: [tag:u8] + payload.
+///   0 = NULL      (no payload; protocol-level only — the engine's Value
+///                  cannot be null, so readers surface it via *is_null)
+///   1 = INT32     [i32]
+///   2 = INT64     [i64]
+///   3 = DOUBLE    [f64 bit pattern]
+///   4 = DATE      [i32 days since epoch]
+///   5 = CHAR(n)   [u16 width][width bytes, space padded]
+void WriteValue(const Value& v, WireWriter* w);
+void WriteNull(WireWriter* w);
+
+/// Decodes one value. On a NULL tag, *is_null is set and *out is left
+/// default-constructed. Type tags outside the table above are errors.
+Status ReadValue(WireReader* r, Value* out, bool* is_null);
+
+/// Schema encoding: [ncols:u32] then per column [name:str][type:u8]
+/// [length:u16], followed by [tuple_size:u32] as a layout cross-check —
+/// both sides compute offsets from the same alignment rules, and a
+/// mismatch means the peers disagree about tuple layout, which would
+/// corrupt every row page after it.
+void WriteSchema(const Schema& schema, WireWriter* w);
+Status ReadSchema(WireReader* r, Schema* out);
+
+}  // namespace hique::net
+
+#endif  // HIQUE_NET_SERDE_H_

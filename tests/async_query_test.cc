@@ -168,6 +168,83 @@ TEST_F(AsyncQueryTest, WaitIsSingleShot) {
   EXPECT_FALSE(second.ok());
 }
 
+// Session::Stats must account every admission event: blocking queries and
+// async submissions share the counters, queued work shows up in the
+// queue-depth gauge, and a cancel-before-dispatch debits it.
+TEST_F(AsyncQueryTest, SessionStatsTrackAdmission) {
+  Catalog& catalog = SharedCatalog();
+  HiqueEngine engine(&catalog, FastOptions(2));
+  Session session = engine.OpenSession({});
+  const std::string sql = "select count(*) as c from ar";
+
+  auto r = session.Query(sql);  // blocking: admitted through the same queue
+  ASSERT_TRUE(r.ok());
+  SessionStats st = session.Stats();
+  EXPECT_EQ(st.submitted, 1u);
+  EXPECT_EQ(st.dispatched, 1u);
+  EXPECT_EQ(st.queue_depth, 0u);
+  EXPECT_EQ(st.streams_opened, 0u);
+
+  engine.PauseAdmission();
+  QueryHandle h1 = session.SubmitAsync(sql);
+  QueryHandle h2 = session.SubmitAsync(sql);
+  st = session.Stats();
+  EXPECT_EQ(st.submitted, 3u);
+  EXPECT_EQ(st.queue_depth, 2u);  // both parked behind the paused scheduler
+  EXPECT_EQ(st.dispatched, 1u);
+  engine.ResumeAdmission();
+  ASSERT_TRUE(h1.Wait().ok());
+  ASSERT_TRUE(h2.Wait().ok());
+  st = session.Stats();
+  EXPECT_EQ(st.queue_depth, 0u);
+  EXPECT_EQ(st.dispatched, 3u);
+  EXPECT_GE(st.total_wait_ms, 0.0);
+
+  // Cancelling a still-queued job must debit the gauge too.
+  engine.PauseAdmission();
+  QueryHandle h3 = session.SubmitAsync(sql);
+  EXPECT_EQ(session.Stats().queue_depth, 1u);
+  h3.Cancel();
+  EXPECT_EQ(session.Stats().queue_depth, 0u);
+  engine.ResumeAdmission();
+  auto cancelled = h3.Wait();
+  EXPECT_FALSE(cancelled.ok());
+
+  // Streaming cursors count separately (they are not admission-gated).
+  auto rs = session.QueryStream(sql);
+  ASSERT_TRUE(rs.ok());
+  ResultSet cursor = std::move(rs).value();
+  while (cursor.Next()) {
+  }
+  EXPECT_EQ(session.Stats().streams_opened, 1u);
+}
+
+// Blocking Query/Execute take a lease from the same slot pool the async
+// scheduler dispatches into: with one slot occupied by a running async
+// job, a blocking query must wait its turn instead of racing past the
+// admission control.
+TEST_F(AsyncQueryTest, BlockingQueriesShareAdmissionSlots) {
+  Catalog& catalog = SharedCatalog();
+  HiqueEngine engine(&catalog, FastOptions(1));  // one admission slot
+  Session session = engine.OpenSession({});
+
+  QueryHandle h = session.SubmitAsync(
+      "select count(*) as c, sum(as2_d) as sd from ar, as2 "
+      "where ar_k = as2_k");
+  // Wait until the job holds the slot (dispatch_seq is set at dispatch).
+  while (h.dispatch_seq() == 0) {
+    std::this_thread::yield();
+  }
+  // The slot is taken: this blocking query must queue behind the async
+  // job, so by the time it returns the async result must be settled.
+  auto blocking = session.Query("select count(*) as c from ar");
+  ASSERT_TRUE(blocking.ok()) << blocking.status().ToString();
+  EXPECT_TRUE(h.TryPoll()) << "blocking query overtook the admission slot";
+  auto r = h.Wait();
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(session.Stats().dispatched, 2u);
+}
+
 TEST_F(AsyncQueryTest, SessionCloseSettlesOutstandingWork) {
   Catalog& catalog = SharedCatalog();
   HiqueEngine engine(&catalog, FastOptions(1));

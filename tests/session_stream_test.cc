@@ -132,6 +132,40 @@ TEST_F(SessionStreamTest, PeakResultPageResidencyIsBounded) {
   EXPECT_GE(cursor.peak_result_pages(), 1u);
 }
 
+// Backpressure-aware page recycling: a fully drained ~780-page stream must
+// reach steady state on a handful of fresh allocations — every page past
+// the residency bound is a reuse of a page the consumer drained, not a new
+// posix_memalign.
+TEST_F(SessionStreamTest, PageRecyclingBoundsSteadyStateAllocations) {
+  Catalog& catalog = SharedCatalog();
+  HiqueEngine engine(&catalog, FastOptions(2));
+  SessionOptions options;
+  options.stream_buffer_pages = 4;
+  Session session = engine.OpenSession(options);
+
+  const std::string sql = "select big_k, big_v, big_d from big "
+                          "where big_v >= 0";
+  auto materialized = engine.Query(sql);
+  ASSERT_TRUE(materialized.ok()) << materialized.status().ToString();
+  uint64_t result_pages = materialized.value().table->NumPages();
+  ASSERT_GT(result_pages, 100u) << "result too small to prove recycling";
+
+  auto rs = session.QueryStream(sql);
+  ASSERT_TRUE(rs.ok()) << rs.status().ToString();
+  ResultSet cursor = std::move(rs).value();
+  EXPECT_EQ(StreamTuples(&cursor), ResultTuples(materialized.value()));
+  ASSERT_TRUE(cursor.status().ok()) << cursor.status().ToString();
+
+  // Steady state: fresh allocations stay within the residency bound
+  // (buffered + in-production + reader-held), with one page of slack for
+  // the producer/consumer race; everything else is recycled.
+  uint64_t allocated = cursor.pages_allocated();
+  uint64_t recycled = cursor.pages_recycled();
+  EXPECT_LE(allocated, uint64_t{options.stream_buffer_pages} + 3);
+  EXPECT_GE(recycled, result_pages - allocated);
+  EXPECT_EQ(allocated + recycled, result_pages);
+}
+
 TEST_F(SessionStreamTest, EarlyCloseCancelsCleanly) {
   Catalog& catalog = SharedCatalog();
   HiqueEngine engine(&catalog, FastOptions(4));
