@@ -9,6 +9,7 @@
 #include <cstdio>
 
 #include "bench_support/flags.h"
+#include "bench_support/json.h"
 #include "bench_support/micro_data.h"
 #include "perf/perf_counters.h"
 #include "util/env.h"
@@ -18,10 +19,10 @@ using namespace hique;
 
 namespace {
 
-void RunQuery(const char* title, variants::MicroQuery query,
-              const std::vector<Table*>& tables,
+void RunQuery(const char* title, const char* qname,
+              variants::MicroQuery query, const std::vector<Table*>& tables,
               const variants::MicroParams& params, int repeat,
-              const std::string& dir) {
+              const std::string& dir, bench::JsonArr* json) {
   std::printf("\n%s\n", title);
   bench::ResultPrinter table({"variant", "time (s)", "vs HIQUE", "CPI",
                               "instructions", "L1d misses", "LLC misses",
@@ -79,6 +80,19 @@ void RunQuery(const char* title, variants::MicroQuery query,
     std::snprintf(checksum, sizeof(checksum), "%.6g", row.run.checksum);
     table.AddRow({variants::StyleName(row.style), bench::Sec(row.secs), ratio,
                   cpi, instr, l1, llc, checksum});
+    bench::JsonObj entry;
+    entry.Str("query", qname)
+        .Str("variant", variants::StyleName(row.style))
+        .Num("seconds", row.secs)
+        .Num("vs_hique", hique_time > 0 ? row.secs / hique_time : 0)
+        .Num("checksum", row.run.checksum);
+    if (row.sample.available) {
+      entry.Num("cpi", row.sample.Cpi())
+          .Int("instructions", static_cast<int64_t>(row.sample.instructions))
+          .Int("l1d_misses", static_cast<int64_t>(row.sample.l1d_misses))
+          .Int("llc_misses", static_cast<int64_t>(row.sample.cache_misses));
+    }
+    json->Add(entry.Render());
   }
   table.Print();
 }
@@ -89,7 +103,9 @@ int main(int argc, char** argv) {
   bench::Flags flags(argc, argv);
   double scale = flags.GetDouble("scale", 1.0);
   int repeat = static_cast<int>(flags.GetInt("repeat", 3));
+  std::string json_path = flags.GetString("json", "");
   std::string dir = env::ProcessTempDir() + "/fig5";
+  bench::JsonArr entries;
 
   std::printf("Fig. 5: join profiling, five code variants (scale=%.2f)\n",
               scale);
@@ -114,8 +130,8 @@ int main(int argc, char** argv) {
     Table* inner = bench::MakeMicroTable(&catalog, "j1i", spec).value();
     variants::MicroParams params;
     RunQuery("Join Query #1 (merge join, 1000 matches/outer, 10M output)",
-             variants::MicroQuery::kJoinMerge, {outer, inner}, params, repeat,
-             dir);
+             "join1", variants::MicroQuery::kJoinMerge, {outer, inner},
+             params, repeat, dir, &entries);
   }
   // Join Query #2: 1M x 1M over 100k distinct keys -> 10 matches/outer.
   {
@@ -129,8 +145,18 @@ int main(int argc, char** argv) {
     variants::MicroParams params;
     params.partitions = 128;
     RunQuery("Join Query #2 (hybrid hash-sort-merge join, 10 matches/outer)",
-             variants::MicroQuery::kJoinHybrid, {outer, inner}, params,
-             repeat, dir);
+             "join2", variants::MicroQuery::kJoinHybrid, {outer, inner},
+             params, repeat, dir, &entries);
+  }
+  if (!json_path.empty()) {
+    std::string doc = bench::JsonObj()
+                          .Str("bench", "fig5_join_profile")
+                          .Num("scale", scale)
+                          .Int("repeat", repeat)
+                          .Add("entries", entries.Render())
+                          .Render();
+    if (!bench::WriteJsonFile(json_path, doc)) return 1;
+    std::printf("\nwrote %s\n", json_path.c_str());
   }
   return 0;
 }

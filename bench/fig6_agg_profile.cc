@@ -8,6 +8,7 @@
 #include <cstdio>
 
 #include "bench_support/flags.h"
+#include "bench_support/json.h"
 #include "bench_support/micro_data.h"
 #include "perf/perf_counters.h"
 #include "util/env.h"
@@ -17,9 +18,10 @@ using namespace hique;
 
 namespace {
 
-void RunQuery(const char* title, variants::MicroQuery query, Table* input,
+void RunQuery(const char* title, const char* qname,
+              variants::MicroQuery query, Table* input,
               const variants::MicroParams& params, int repeat,
-              const std::string& dir) {
+              const std::string& dir, bench::JsonArr* json) {
   std::printf("\n%s\n", title);
   bench::ResultPrinter table({"variant", "time (s)", "vs HIQUE", "CPI",
                               "instructions", "L1d misses", "LLC misses",
@@ -78,6 +80,19 @@ void RunQuery(const char* title, variants::MicroQuery query, Table* input,
                   static_cast<long long>(row.run.count));
     table.AddRow({variants::StyleName(row.style), bench::Sec(row.secs), ratio,
                   cpi, instr, l1, llc, groups});
+    bench::JsonObj entry;
+    entry.Str("query", qname)
+        .Str("variant", variants::StyleName(row.style))
+        .Num("seconds", row.secs)
+        .Num("vs_hique", hique_time > 0 ? row.secs / hique_time : 0)
+        .Int("groups", row.run.count);
+    if (row.sample.available) {
+      entry.Num("cpi", row.sample.Cpi())
+          .Int("instructions", static_cast<int64_t>(row.sample.instructions))
+          .Int("l1d_misses", static_cast<int64_t>(row.sample.l1d_misses))
+          .Int("llc_misses", static_cast<int64_t>(row.sample.cache_misses));
+    }
+    json->Add(entry.Render());
   }
   table.Print();
 }
@@ -88,7 +103,9 @@ int main(int argc, char** argv) {
   bench::Flags flags(argc, argv);
   double scale = flags.GetDouble("scale", 1.0);
   int repeat = static_cast<int>(flags.GetInt("repeat", 3));
+  std::string json_path = flags.GetString("json", "");
   std::string dir = env::ProcessTempDir() + "/fig6";
+  bench::JsonArr entries;
 
   std::printf("Fig. 6: aggregation profiling, five code variants "
               "(scale=%.2f)\n", scale);
@@ -102,8 +119,9 @@ int main(int argc, char** argv) {
     Table* input = bench::MakeMicroTable(&catalog, "a1", spec).value();
     variants::MicroParams params;
     params.partitions = 128;
-    RunQuery("Aggregation Query #1 (hybrid hash-sort, 100k groups)",
-             variants::MicroQuery::kAggHybrid, input, params, repeat, dir);
+    RunQuery("Aggregation Query #1 (hybrid hash-sort, 100k groups)", "agg1",
+             variants::MicroQuery::kAggHybrid, input, params, repeat, dir,
+             &entries);
   }
   {
     bench::MicroTableSpec spec;
@@ -113,8 +131,19 @@ int main(int argc, char** argv) {
     Table* input = bench::MakeMicroTable(&catalog, "a2", spec).value();
     variants::MicroParams params;
     params.map_domain = 10;
-    RunQuery("Aggregation Query #2 (map aggregation, 10 groups)",
-             variants::MicroQuery::kAggMap, input, params, repeat, dir);
+    RunQuery("Aggregation Query #2 (map aggregation, 10 groups)", "agg2",
+             variants::MicroQuery::kAggMap, input, params, repeat, dir,
+             &entries);
+  }
+  if (!json_path.empty()) {
+    std::string doc = bench::JsonObj()
+                          .Str("bench", "fig6_agg_profile")
+                          .Num("scale", scale)
+                          .Int("repeat", repeat)
+                          .Add("entries", entries.Render())
+                          .Render();
+    if (!bench::WriteJsonFile(json_path, doc)) return 1;
+    std::printf("\nwrote %s\n", json_path.c_str());
   }
   return 0;
 }

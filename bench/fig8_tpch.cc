@@ -1,16 +1,21 @@
-// Fig. 8 reproduction: TPC-H Queries 1, 3 and 10 across four systems:
+// Fig. 8 reproduction: TPC-H Queries 1, 3, 6 and 10 across four systems:
 //   - generic Volcano iterators (PostgreSQL stand-in, NSM + interpretation)
 //   - optimized Volcano iterators (System X stand-in, NSM + typed iterators)
 //   - column-at-a-time engine (MonetDB stand-in, DSM + materialization)
-//   - HIQUE (generated code over NSM)
+//   - HIQUE (generated code over NSM), scalar and SIMD kernel versions
 // Expected shape (paper): Q1 — HIQUE beats the column engine ~4x and the
 // NSM iterator engines by 1-2 orders of magnitude; Q3/Q10 — HIQUE and the
 // column engine trade places (wide tuples favour DSM), both well ahead of
-// the NSM iterator engines.
+// the NSM iterator engines. Q6 (not in the paper's figure) is the
+// selection-dominated query where the SIMD bitmap kernels matter most.
+//
+// --json=FILE writes the measurements as the repo's tracked perf datapoint
+// (BENCH_fig8.json in CI): the scalar-vs-SIMD delta per query.
 
 #include <cstdio>
 
 #include "bench_support/flags.h"
+#include "bench_support/json.h"
 #include "bench_support/micro_data.h"
 #include "column/column_engine.h"
 #include "exec/engine.h"
@@ -28,14 +33,17 @@ int main(int argc, char** argv) {
   // Intra-query parallelism sweep: --threads, HQ_THREADS, default 4.
   uint32_t threads = HiqueEngine::ClampThreads(
       flags.GetInt("threads", env::EnvInt("HQ_THREADS", 4)));
+  std::string json_path = flags.GetString("json", "");
 
-  std::printf("Fig. 8: TPC-H Q1/Q3/Q10 at SF=%.2f (times in seconds, best "
-              "of %d; HIQUE-x%u = %u threads, speedup vs 1 thread)\n",
+  std::printf("Fig. 8: TPC-H Q1/Q3/Q6/Q10 at SF=%.2f (times in seconds, "
+              "best of %d; HIQUE-x%u = %u threads)\n",
               sf, repeat, threads, threads);
   std::printf("systems: generic iterators (PostgreSQL stand-in), optimized "
               "iterators (System X stand-in),\n"
               "         column engine (MonetDB stand-in), HIQUE generated "
-              "code — see DESIGN.md for the substitutions\n\n");
+              "code — see DESIGN.md for the substitutions\n"
+              "HIQUE-scalar forces the scalar kernel versions; HIQUE runs "
+              "the widest SIMD level this host supports\n\n");
 
   Catalog catalog;
   tpch::TpchOptions topts;
@@ -54,10 +62,18 @@ int main(int argc, char** argv) {
   EngineOptions eopts;
   eopts.gen_dir = env::ProcessTempDir() + "/fig8";
   // Paper-reproduction runs measure the fully specialized per-literal
-  // code, not the production parameterized variant.
+  // code, not the production parameterized variant, and measure the
+  // optimized compile tier (the paper compiles with optimizations on);
+  // tiered compilation would report the -O0 warm-up tier.
   eopts.hoist_constants = false;
+  eopts.tiered_compilation = false;
+  eopts.compile.opt_level = 2;
   eopts.threads = 1;
   HiqueEngine hique(&catalog, eopts);
+  EngineOptions sopts = eopts;
+  sopts.gen_dir = env::ProcessTempDir() + "/fig8_scalar";
+  sopts.simd = false;
+  HiqueEngine hique_scalar(&catalog, sopts);
   EngineOptions mopts = eopts;
   mopts.gen_dir = env::ProcessTempDir() + "/fig8_mt";
   mopts.threads = threads;
@@ -81,71 +97,157 @@ int main(int argc, char** argv) {
   };
   std::vector<QuerySpec> queries = {{"Q1", tpch::Query1Sql()},
                                     {"Q3", tpch::Query3Sql()},
+                                    {"Q6", tpch::Query6Sql()},
                                     {"Q10", tpch::Query10Sql()}};
 
   bench::ResultPrinter table({"query", "Generic iterators",
                               "Optimized iterators", "Column engine",
-                              "HIQUE", "HIQUE-x" + std::to_string(threads),
-                              "speedup", "HIQUE rows"});
-  for (const auto& q : queries) {
-    double t_pg = 1e100, t_sysx = 1e100, t_col = 1e100, t_hq = 1e100,
-           t_mt = 1e100;
-    int64_t rows = 0;
-    for (int r = 0; r < repeat; ++r) {
-      {
-        auto res = pg.Query(q.sql);
-        if (!res.ok()) {
-          std::printf("%s generic: %s\n", q.name,
-                      res.status().ToString().c_str());
-          return 1;
-        }
-        t_pg = std::min(t_pg, res.value().stats.execute_seconds);
+                              "HIQUE-scalar", "HIQUE",
+                              "HIQUE-x" + std::to_string(threads),
+                              "simd speedup", "HIQUE rows"});
+  // Each system runs its repeats back-to-back (system-major order): the
+  // scalar-vs-SIMD comparison is cache-sensitive, and interleaving systems
+  // per repeat lets the column engine's DSM copies evict the shared table
+  // pages between the two HIQUE runs being compared.
+  bool failed = false;
+  std::string cur_sql;
+  auto best = [&](const char* qname, const char* sys, auto& engine,
+                  auto time_of) {
+    double t = 1e100;
+    // One untimed warm-up so every system's timed repeats start from the
+    // same steady cache/allocator state.
+    for (int r = -1; r < repeat && !failed; ++r) {
+      auto res = engine.Query(cur_sql);
+      if (!res.ok()) {
+        std::printf("%s %s: %s\n", qname, sys,
+                    res.status().ToString().c_str());
+        failed = true;
+        return t;
       }
-      {
-        auto res = sysx.Query(q.sql);
-        if (!res.ok()) {
-          std::printf("%s optimized: %s\n", q.name,
-                      res.status().ToString().c_str());
-          return 1;
-        }
-        t_sysx = std::min(t_sysx, res.value().stats.execute_seconds);
-      }
-      {
-        auto res = monet.Query(q.sql);
-        if (!res.ok()) {
-          std::printf("%s column: %s\n", q.name,
-                      res.status().ToString().c_str());
-          return 1;
-        }
-        t_col = std::min(t_col, res.value().total_seconds);
-      }
-      {
-        auto res = hique.Query(q.sql);
-        if (!res.ok()) {
-          std::printf("%s hique: %s\n", q.name,
-                      res.status().ToString().c_str());
-          return 1;
-        }
-        t_hq = std::min(t_hq, res.value().exec_stats.execute_seconds);
-        rows = res.value().NumRows();
-      }
-      {
-        auto res = hique_mt.Query(q.sql);
-        if (!res.ok()) {
-          std::printf("%s hique-mt: %s\n", q.name,
-                      res.status().ToString().c_str());
-          return 1;
-        }
-        t_mt = std::min(t_mt, res.value().exec_stats.execute_seconds);
-      }
+      if (r >= 0) t = std::min(t, time_of(res.value()));
     }
+    return t;
+  };
+  bench::JsonArr json_queries;
+  for (const auto& q : queries) {
+    cur_sql = q.sql;
+    int64_t rows = 0;
+    double t_pg = best(q.name, "generic", pg,
+                       [](const auto& r) { return r.stats.execute_seconds; });
+    double t_sysx = best(q.name, "optimized", sysx,
+                         [](const auto& r) { return r.stats.execute_seconds; });
+    double t_col = best(q.name, "column", monet,
+                        [](const auto& r) { return r.total_seconds; });
+    double t_scalar =
+        best(q.name, "hique-scalar", hique_scalar,
+             [](const auto& r) { return r.exec_stats.execute_seconds; });
+    double t_hq = best(q.name, "hique", hique, [&rows](const auto& r) {
+      rows = r.NumRows();
+      return r.exec_stats.execute_seconds;
+    });
+    double t_mt = best(q.name, "hique-mt", hique_mt,
+                       [](const auto& r) { return r.exec_stats.execute_seconds; });
+    if (failed) return 1;
     char speedup[32];
     std::snprintf(speedup, sizeof(speedup), "%.2fx",
-                  t_mt > 0 ? t_hq / t_mt : 0.0);
+                  t_hq > 0 ? t_scalar / t_hq : 0.0);
     table.AddRow({q.name, bench::Sec(t_pg), bench::Sec(t_sysx),
-                  bench::Sec(t_col), bench::Sec(t_hq), bench::Sec(t_mt),
-                  speedup, std::to_string(rows)});
+                  bench::Sec(t_col), bench::Sec(t_scalar), bench::Sec(t_hq),
+                  bench::Sec(t_mt), speedup, std::to_string(rows)});
+    json_queries.Add(bench::JsonObj()
+                         .Str("name", q.name)
+                         .Num("generic_s", t_pg)
+                         .Num("optimized_s", t_sysx)
+                         .Num("column_s", t_col)
+                         .Num("hique_scalar_s", t_scalar)
+                         .Num("hique_simd_s", t_hq)
+                         .Num("hique_mt_s", t_mt)
+                         .Num("simd_speedup", t_hq > 0 ? t_scalar / t_hq : 0)
+                         .Num("mt_speedup", t_mt > 0 ? t_hq / t_mt : 0)
+                         .Int("rows", rows)
+                         .Render());
   }
   table.Print();
+
+  // Kernel microbenchmarks on the §VI 72-byte-tuple micro tables: the
+  // fig7c-style selective join (SIMD predicate kernel ahead of the join)
+  // and the fig6-style large-domain group-by (vectorized partition hash).
+  // These isolate the scalar-vs-SIMD kernel delta that the TPC-H mix
+  // dilutes; tracked in BENCH_fig8.json alongside the queries.
+  // Sized to stay LLC-resident (600k x 72 B = ~43 MB): the kernels target
+  // the paper's cache-conscious regime, and at DRAM-bound sizes both code
+  // versions converge on memory bandwidth.
+  bench::MicroTableSpec mspec;
+  mspec.rows = 600000;
+  mspec.key_domain = 100000;
+  mspec.seed = 5;
+  if (!bench::MakeMicroTable(&catalog, "mr", mspec).ok()) return 1;
+  mspec.rows = 150000;
+  mspec.seed = 6;
+  if (!bench::MakeMicroTable(&catalog, "ms", mspec).ok()) return 1;
+  std::vector<QuerySpec> micro = {
+      {"fig7c_seljoin",
+       "select count(*) as c, sum(ms_b) as sb from mr, ms "
+       "where mr_k = ms_k and mr_v >= 2500 and mr_v < 7500 "
+       "and mr_a >= 626.0 and mr_a < 700.0 "
+       "and ms_v >= 2500 and ms_v < 4000"},
+      {"fig6_groupby",
+       "select mr_k, count(*) as c, sum(mr_a) as sa "
+       "from mr group by mr_k"}};
+  bench::ResultPrinter ktable({"kernel micro", "HIQUE-scalar", "HIQUE",
+                               "HIQUE-x" + std::to_string(threads),
+                               "simd speedup", "rows"});
+  bench::JsonArr json_micro;
+  for (const auto& q : micro) {
+    int64_t rows = 0;
+    double t_scalar = 1e100, t_hq = 1e100;
+    for (int r = -1; r < repeat; ++r) {
+      auto rs = hique_scalar.Query(q.sql);
+      auto rv = hique.Query(q.sql);
+      if (!rs.ok() || !rv.ok()) {
+        std::printf("%s hique: %s\n", q.name,
+                    (rs.ok() ? rv : rs).status().ToString().c_str());
+        return 1;
+      }
+      if (r < 0) continue;
+      t_scalar = std::min(t_scalar, rs.value().exec_stats.execute_seconds);
+      t_hq = std::min(t_hq, rv.value().exec_stats.execute_seconds);
+      rows = rv.value().NumRows();
+    }
+    cur_sql = q.sql;
+    double t_mt = best(q.name, "hique-mt", hique_mt,
+                       [](const auto& r) { return r.exec_stats.execute_seconds; });
+    if (failed) return 1;
+    char speedup[32];
+    std::snprintf(speedup, sizeof(speedup), "%.2fx",
+                  t_hq > 0 ? t_scalar / t_hq : 0.0);
+    ktable.AddRow({q.name, bench::Sec(t_scalar), bench::Sec(t_hq),
+                   bench::Sec(t_mt), speedup, std::to_string(rows)});
+    json_micro.Add(bench::JsonObj()
+                       .Str("name", q.name)
+                       .Num("hique_scalar_s", t_scalar)
+                       .Num("hique_simd_s", t_hq)
+                       .Num("hique_mt_s", t_mt)
+                       .Num("simd_speedup", t_hq > 0 ? t_scalar / t_hq : 0)
+                       .Num("mt_speedup", t_mt > 0 ? t_hq / t_mt : 0)
+                       .Int("rows", rows)
+                       .Render());
+  }
+  std::printf("\n");
+  ktable.Print();
+
+  if (!json_path.empty()) {
+    std::string doc = bench::JsonObj()
+                          .Str("bench", "fig8_tpch")
+                          .Num("scale_factor", sf)
+                          .Int("repeat", repeat)
+                          .Int("threads", threads)
+                          .Int("simd_level", hique.simd_level())
+                          .Add("queries", json_queries.Render())
+                          .Add("kernel_micro", json_micro.Render())
+                          .Render();
+    if (!bench::WriteJsonFile(json_path, doc)) return 1;
+    std::printf("\nwrote %s\n", json_path.c_str());
+  }
   return 0;
 }

@@ -37,20 +37,37 @@ int main(int argc, char** argv) {
 
   bench::ResultPrinter table(
       {"working set", "bytes", "sequential (ns)", "random (ns)",
-       "random/sequential"});
+       "sequential (cyc)", "random (cyc)", "random/sequential"});
+  bool have_cycles = false;
   for (const Level& level : levels) {
     perf::LatencyResult r = perf::MeasureAccessLatency(level.bytes);
-    char seq[32], rnd[32], ratio[32], bytes[32];
+    char seq[32], rnd[32], seqc[32], rndc[32], ratio[32], bytes[32];
     std::snprintf(seq, sizeof(seq), "%.2f", r.sequential_ns);
     std::snprintf(rnd, sizeof(rnd), "%.2f", r.random_ns);
+    // Cycles per access is the paper's Table I unit; perf_event may be
+    // unavailable in containers, in which case only ns columns apply.
+    if (r.sequential_cycles > 0) {
+      have_cycles = true;
+      std::snprintf(seqc, sizeof(seqc), "%.1f", r.sequential_cycles);
+      std::snprintf(rndc, sizeof(rndc), "%.1f", r.random_cycles);
+    } else {
+      std::snprintf(seqc, sizeof(seqc), "n/a");
+      std::snprintf(rndc, sizeof(rndc), "n/a");
+    }
     std::snprintf(ratio, sizeof(ratio), "%.2fx",
                   r.sequential_ns > 0 ? r.random_ns / r.sequential_ns : 0);
     std::snprintf(bytes, sizeof(bytes), "%zu", level.bytes);
-    table.AddRow({level.name, bytes, seq, rnd, ratio});
+    table.AddRow({level.name, bytes, seq, rnd, seqc, rndc, ratio});
   }
   table.Print();
   std::printf(
-      "\nExpected shape (paper Table I): ratio ~1x while D1-resident, "
-      "growing to ~1.5x in L2 and ~3x in DRAM.\n");
+      "\nExpected shape (paper Table I, Core 2 Duo cycles): D1 ~3 uniform; "
+      "L2 9 (seq) vs 14 (rand); DRAM 28 (seq) vs 77+ (rand) —\n"
+      "ratio ~1x while D1-resident, growing to ~1.5x in L2 and ~3x in "
+      "DRAM.\n");
+  if (!have_cycles) {
+    std::printf("note: perf_event cycle counters unavailable in this "
+                "environment; cycle columns report n/a\n");
+  }
   return 0;
 }

@@ -25,6 +25,11 @@ class Flags {
     if (!Find(name, &v)) return def;
     return v.empty() || v == "1" || v == "true";
   }
+  std::string GetString(const std::string& name,
+                        const std::string& def) const {
+    std::string v;
+    return Find(name, &v) ? v : def;
+  }
 
  private:
   bool Find(const std::string& name, std::string* value) const {

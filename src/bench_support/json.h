@@ -1,0 +1,103 @@
+#ifndef HIQUE_BENCH_SUPPORT_JSON_H_
+#define HIQUE_BENCH_SUPPORT_JSON_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace hique::bench {
+
+/// Minimal JSON emission for the benchmark binaries' `--json=FILE` output:
+/// flat objects of numbers/strings nested in arrays — just enough for CI
+/// to track perf datapoints without pulling in a JSON dependency.
+inline std::string JsonStr(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default: out += c;
+    }
+  }
+  out += '"';
+  return out;
+}
+
+inline std::string JsonNum(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+inline std::string JsonNum(int64_t v) { return std::to_string(v); }
+
+/// Ordered key -> pre-rendered-value object builder.
+class JsonObj {
+ public:
+  JsonObj& Add(const std::string& key, const std::string& rendered) {
+    entries_.push_back(JsonStr(key) + ": " + rendered);
+    return *this;
+  }
+  JsonObj& Str(const std::string& key, const std::string& value) {
+    return Add(key, JsonStr(value));
+  }
+  JsonObj& Num(const std::string& key, double value) {
+    return Add(key, JsonNum(value));
+  }
+  JsonObj& Int(const std::string& key, int64_t value) {
+    return Add(key, JsonNum(value));
+  }
+  std::string Render() const { return "{" + Join() + "}"; }
+
+ private:
+  std::string Join() const {
+    std::string out;
+    for (size_t i = 0; i < entries_.size(); ++i) {
+      if (i != 0) out += ", ";
+      out += entries_[i];
+    }
+    return out;
+  }
+  std::vector<std::string> entries_;
+};
+
+class JsonArr {
+ public:
+  JsonArr& Add(const std::string& rendered) {
+    entries_.push_back(rendered);
+    return *this;
+  }
+  std::string Render() const {
+    std::string out = "[";
+    for (size_t i = 0; i < entries_.size(); ++i) {
+      if (i != 0) out += ", ";
+      out += entries_[i];
+    }
+    out += "]";
+    return out;
+  }
+
+ private:
+  std::vector<std::string> entries_;
+};
+
+/// Writes `rendered` (plus a trailing newline) to `path`; returns false —
+/// after printing a diagnostic — when the file cannot be written.
+inline bool WriteJsonFile(const std::string& path,
+                          const std::string& rendered) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return false;
+  }
+  std::fputs(rendered.c_str(), f);
+  std::fputc('\n', f);
+  std::fclose(f);
+  return true;
+}
+
+}  // namespace hique::bench
+
+#endif  // HIQUE_BENCH_SUPPORT_JSON_H_

@@ -2,6 +2,7 @@
 #define HIQUE_CODEGEN_EXPR_GEN_H_
 
 #include <string>
+#include <vector>
 
 #include "plan/physical.h"
 #include "sql/bound.h"
@@ -51,6 +52,28 @@ void AppendFieldCompare(std::string* out, const std::string& a,
 /// Equality condition between same-typed fields of two records.
 std::string FieldEquals(const std::string& a, const std::string& b,
                         uint32_t offset, Type type);
+
+/// Emits a multiversioned selection-bitmap kernel for a conjunction of
+/// filters over base-table tuples:
+///
+///   static uint64_t <name>(HqQueryCtx* ctx, const uint8_t* tup, uint32_t n)
+///
+/// returns bit i set iff tuple `tup + i*TupleSize()` (i < n <=
+/// HQ_SIMD_BLOCK) passes every filter. Four versions are emitted:
+/// `<name>_scalar` (plain loop), `<name>_sse2` / `<name>_avx2` (identical
+/// vector-extension bodies under per-function target attributes, guarded
+/// by HQ_SIMD_X86 so the SAME source compiles on any host), and `<name>`
+/// itself, which dispatches on the load-time `hq_simd_level`. Numeric
+/// filters evaluate four tuples per step through 64-bit lanes whose C
+/// arithmetic conversions match the scalar condition exactly (int lanes
+/// sign-extend; double lanes apply the same promotions), so the bitmap is
+/// bit-identical across versions. CHAR and other non-lane-mappable filters
+/// evaluate the exact scalar condition per lane (fixed-length memcmp,
+/// which the compiler inlines to SIMD compares under the target).
+void EmitPredicateKernel(std::string* out, const std::string& name,
+                         const Schema& schema,
+                         const std::vector<sql::Filter>& filters,
+                         const plan::ParamTable* params = nullptr);
 
 }  // namespace hique::codegen
 

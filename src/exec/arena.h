@@ -2,6 +2,7 @@
 #define HIQUE_EXEC_ARENA_H_
 
 #include <atomic>
+#include <cassert>
 #include <cstdint>
 #include <cstdlib>
 #include <vector>
@@ -54,6 +55,10 @@ class Arena {
     void* p = current_ + used_;
     used_ += bytes;
     total_ += bytes;
+    // Generated SIMD kernels and the staged-buffer layout rely on every
+    // arena allocation being 64-byte (cache-line / AVX2-load) aligned:
+    // blocks come from posix_memalign(64) and sizes round up to 64.
+    assert((reinterpret_cast<uintptr_t>(p) & 63u) == 0);
     return p;
   }
 

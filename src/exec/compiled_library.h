@@ -18,14 +18,30 @@ namespace hique::exec {
 /// another thread is still executing. The last owner dlcloses and, when
 /// `unlink_on_unload` was requested, removes the on-disk .so/.cc artefacts
 /// (keeping the gen dir from growing without bound).
+/// Widest SIMD kernel version this host can execute: HQ_SIMD_AVX2 /
+/// HQ_SIMD_SSE2 / HQ_SIMD_SCALAR (non-x86 hosts). Pure CPUID — no env.
+int32_t DetectSimdLevel();
+
+/// The SIMD level libraries should be loaded at: DetectSimdLevel() capped
+/// by the HQ_SIMD environment knob ("off"/"0"/"scalar" → scalar,
+/// "sse2"/"1", "avx2"/"2", "on"/unset → full detection) and forced to
+/// scalar when `enable_simd` (EngineOptions::simd) is false. Resolved once
+/// per engine; dispatch is per-library-load, never per-execution.
+int32_t ResolveSimdLevel(bool enable_simd);
+
 class CompiledLibrary {
  public:
   /// Loads `compiled.library_path` and resolves `entry_symbol`.
   /// `source` is retained for tier recompilation and keep_source reporting;
   /// `opt_level` records the -O tier this artefact was built at.
+  /// `simd_level` selects the generated kernel version (HQ_SIMD_* constant)
+  /// via the library's `hique_set_simd` export before any execution; pass
+  /// -1 for ResolveSimdLevel(true). Libraries predating the SIMD ABI (no
+  /// such export) load fine and stay scalar.
   static Result<std::shared_ptr<CompiledLibrary>> Load(
       CompileResult compiled, const std::string& entry_symbol,
-      std::string source, int opt_level, bool unlink_on_unload);
+      std::string source, int opt_level, bool unlink_on_unload,
+      int32_t simd_level = -1);
 
   ~CompiledLibrary();
   CompiledLibrary(const CompiledLibrary&) = delete;
@@ -36,6 +52,8 @@ class CompiledLibrary {
   const std::string& entry_symbol() const { return entry_symbol_; }
   const std::string& source() const { return source_; }
   int opt_level() const { return opt_level_; }
+  /// The kernel version this library was pinned to at load time.
+  int32_t simd_level() const { return simd_level_; }
 
  private:
   CompiledLibrary() = default;
@@ -46,6 +64,7 @@ class CompiledLibrary {
   std::string entry_symbol_;
   std::string source_;
   int opt_level_ = 0;
+  int32_t simd_level_ = HQ_SIMD_SCALAR;
   bool unlink_on_unload_ = false;
 };
 

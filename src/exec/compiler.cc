@@ -53,9 +53,15 @@ Result<CompileResult> CompileToSharedLibrary(const std::string& source,
   result.source_bytes = static_cast<int64_t>(source.size());
 
   std::string log_path = dir + "/" + name + ".log";
+  // HQ_GEN_CXXFLAGS appends verbatim flags to every runtime compilation —
+  // CI uses it to run generated code under the same sanitizers as the
+  // engine (e.g. -fsanitize=alignment,undefined). Like HIQUE_CXX it stays
+  // unquoted so multi-word values work.
+  std::string gen_flags = env::EnvString("HQ_GEN_CXXFLAGS", "");
   std::string cmd = RuntimeCompilerPath() + " -shared -fPIC -w -O" +
                     std::to_string(options.opt_level) + " " +
                     options.extra_flags + (options.extra_flags.empty() ? "" : " ") +
+                    gen_flags + (gen_flags.empty() ? "" : " ") +
                     "-o " + ShellQuote(result.library_path) + " " +
                     ShellQuote(result.source_path) +
                     " 2> " + ShellQuote(log_path);

@@ -91,6 +91,7 @@ HiqueEngine::HiqueEngine(Catalog* catalog, EngineOptions options)
   threads_ = ClampThreads(options_.threads != 0
                               ? static_cast<int64_t>(options_.threads)
                               : env::EnvInt("HQ_THREADS", 1));
+  simd_level_ = exec::ResolveSimdLevel(options_.simd);
   if (threads_ > 1) {
     worker_pool_ = std::make_unique<exec::WorkerPool>(threads_ - 1);
   }
@@ -154,7 +155,8 @@ Result<std::shared_ptr<exec::CompiledLibrary>> HiqueEngine::CompilePlan(
   return exec::CompiledLibrary::Load(std::move(compiled),
                                      generated.entry_symbol,
                                      std::move(generated.source), opt_level,
-                                     /*unlink_on_unload=*/!options_.keep_source);
+                                     /*unlink_on_unload=*/!options_.keep_source,
+                                     simd_level_);
 }
 
 std::shared_ptr<exec::CompiledLibrary> HiqueEngine::LookupCacheLocked(
@@ -261,7 +263,7 @@ void HiqueEngine::TierWorkerLoop() {
     if (compiled.ok()) {
       auto loaded = exec::CompiledLibrary::Load(
           std::move(compiled).value(), job.entry_symbol, job.source,
-          options_.compile.opt_level, !options_.keep_source);
+          options_.compile.opt_level, !options_.keep_source, simd_level_);
       if (loaded.ok()) fresh = std::move(loaded).value();
       // A failed load falls through: the -O0 tier keeps serving.
     }

@@ -106,6 +106,13 @@ struct EngineOptions {
   // so one cached library serves all settings and parallel results are
   // bit-identical to serial ones.
   uint32_t threads = 0;
+  // SIMD kernel dispatch: generated libraries carry scalar + SSE2 + AVX2
+  // versions of their hot-loop kernels under one plan signature; the widest
+  // version the host supports is selected once per library load (CPUID in
+  // exec::CompiledLibrary). `false` forces the scalar (paper-original)
+  // loops, as does HQ_SIMD=off in the environment; the generated source is
+  // identical either way, so caching and bit-identity are unaffected.
+  bool simd = true;
   // Per-execution scratch-memory budget shared by the query arena and all
   // worker arenas (0 = unlimited). Exhaustion fails the query with a clean
   // OOM error; in a parallel run the failing worker cancels the remaining
@@ -437,6 +444,11 @@ class HiqueEngine {
   /// HQ_THREADS); 1 means serial execution.
   uint32_t threads() const { return threads_; }
 
+  /// Resolved SIMD dispatch level (HQ_SIMD_* constant): CPUID capped by
+  /// EngineOptions::simd and the HQ_SIMD environment knob. Every library
+  /// this engine loads is pinned to this level.
+  int32_t simd_level() const { return simd_level_; }
+
   /// Clamps a requested worker count to the supported range [1, 256] —
   /// the constructor applies this to EngineOptions::threads / HQ_THREADS,
   /// and benchmarks use it so their column labels match the engine.
@@ -575,6 +587,7 @@ class HiqueEngine {
   Catalog* catalog_;
   EngineOptions options_;
   uint32_t threads_ = 1;
+  int32_t simd_level_ = 0;  // resolved once in the constructor
   // Shared across all concurrent executions; created once at construction
   // when threads_ > 1 (pool size threads_ - 1: the query thread itself is
   // the last executor slot of every ParallelFor barrier).

@@ -3,6 +3,7 @@
 #include <dlfcn.h>
 
 #include <atomic>
+#include <cassert>
 #include <cstdlib>
 #include <cstring>
 #include <memory>
@@ -51,6 +52,7 @@ struct StreamSink {
       }
       page = static_cast<Page*>(mem);
     }
+    assert((reinterpret_cast<uintptr_t>(page) & 63u) == 0);
     // Zero the whole page, not just the header: record padding bytes then
     // never carry heap garbage, so result pages are byte-deterministic
     // (parallel runs compare bit-identical to serial ones).

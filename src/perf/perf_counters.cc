@@ -139,10 +139,21 @@ LatencyResult MeasureAccessLatency(size_t bytes, uint64_t seed) {
     }
     return p;
   };
+  // Cycle counts come from the same timed walk: per-access cycles is the
+  // paper's Table I unit, and wall time alone can't recover it portably
+  // (frequency scaling).
+  auto cycles_per_access = [&](const CounterSample& s) {
+    return s.available ? static_cast<double>(s.cycles) /
+                             static_cast<double>(accesses)
+                       : 0.0;
+  };
   Node* p = chase(&nodes[0], slots);  // warm-up
+  PerfCounters seq_counters;
+  seq_counters.Start();
   WallTimer timer;
   p = chase(p, accesses);
   double seq_ns = timer.ElapsedSeconds() * 1e9 / static_cast<double>(accesses);
+  double seq_cycles = cycles_per_access(seq_counters.Stop());
 
   // Random permutation chain (single cycle through all slots).
   std::vector<uint32_t> order(slots);
@@ -155,12 +166,15 @@ LatencyResult MeasureAccessLatency(size_t bytes, uint64_t seed) {
     nodes[order[i]].next = &nodes[order[(i + 1) % slots]];
   }
   p = chase(&nodes[order[0]], slots);  // warm-up
+  PerfCounters rnd_counters;
+  rnd_counters.Start();
   timer.Restart();
   p = chase(p, accesses);
   double rnd_ns = timer.ElapsedSeconds() * 1e9 / static_cast<double>(accesses);
-  if (p == nullptr) return {0, 0};  // unreachable; keeps p observable
+  double rnd_cycles = cycles_per_access(rnd_counters.Stop());
+  if (p == nullptr) return {};  // unreachable; keeps p observable
 
-  return {seq_ns, rnd_ns};
+  return {seq_ns, rnd_ns, seq_cycles, rnd_cycles};
 }
 
 }  // namespace hique::perf

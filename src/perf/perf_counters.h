@@ -49,10 +49,14 @@ class PerfCounters {
 
 /// Memory hierarchy latency probe (Table I / §II-A): measures per-access
 /// nanoseconds for sequential (stride) and dependent random (pointer-chase)
-/// walks over a working set of `bytes`.
+/// walks over a working set of `bytes`. The `_cycles` fields report the
+/// same walks in CPU cycles per access — the paper's Table I unit — via
+/// perf_event cycle counters; 0 when the kernel denies counter access.
 struct LatencyResult {
   double sequential_ns = 0;
   double random_ns = 0;
+  double sequential_cycles = 0;
+  double random_cycles = 0;
 };
 LatencyResult MeasureAccessLatency(size_t bytes, uint64_t seed = 7);
 

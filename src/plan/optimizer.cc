@@ -286,6 +286,9 @@ class Planner {
     op.input_stream = stream;
     if (in.is_base_table) {
       op.filters = TakeFilters(in.base_table_index);
+      for (const auto& f : op.filters) {
+        op.filter_selectivity *= FilterSelectivity(f);
+      }
       op.output = ProjectLayout(in, in.base_table_index);
     } else {
       op.output = ProjectLayout(in, -1);
@@ -705,6 +708,13 @@ class Planner {
 
     in = &plan_->streams[stream];
     op.input_stream = stream;
+    if (in->is_base_table) {
+      for (const auto& f : q_->filters) {
+        if (f.column.table == in->base_table_index) {
+          op.filter_selectivity *= FilterSelectivity(f);
+        }
+      }
+    }
     // Group fields & output layout.
     for (ColRef g : q_->group_by) {
       int idx = in->layout.FindField(g);

@@ -58,6 +58,11 @@ enum class StageAction {
 struct StageOp {
   int input_stream = -1;   // stream id (base tables occupy ids [0, #tables))
   std::vector<sql::Filter> filters;
+  // Combined estimated selectivity of `filters` (1.0 when there are none).
+  // Codegen skips the batched bitmap-select path for non-selective
+  // predicates, where a separate predicate pass is pure overhead over the
+  // fused scan loop.
+  double filter_selectivity = 1.0;
   RecordLayout output;
   StageAction action = StageAction::kNone;
   std::vector<int> key_fields;   // sort keys / single partition key
@@ -110,6 +115,9 @@ struct AggOp {
   int input_stream = -1;
   std::vector<int> group_fields;           // field indexes in input layout
   const sql::BoundQuery* query = nullptr;  // for agg specs (arg expressions)
+  // Estimated selectivity of the base-table filters map aggregation
+  // applies inline (1.0 when none); same batched-select gate as StageOp.
+  double filter_selectivity = 1.0;
   uint32_t num_partitions = 0;             // hybrid
   // Map aggregation directories (paper Fig. 4). Per grouping attribute:
   // |M_i| cells; dense directories map value -> (value - dense_min) with no

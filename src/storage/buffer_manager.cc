@@ -3,6 +3,7 @@
 #include <fcntl.h>
 #include <unistd.h>
 
+#include <cassert>
 #include <cerrno>
 #include <cstdlib>
 #include <cstring>
@@ -19,6 +20,9 @@ BufferManager::BufferManager(size_t frame_capacity) {
     void* mem = nullptr;
     int rc = posix_memalign(&mem, kPageSize, kPageSize);
     HQ_CHECK_MSG(rc == 0 && mem != nullptr, "buffer pool allocation failed");
+    // Frame alignment feeds generated SIMD kernels directly (scans read
+    // pinned frames in place) — same 64-byte contract as Arena/Table.
+    assert((reinterpret_cast<uintptr_t>(mem) & 63u) == 0);
     frames_[i] = static_cast<Page*>(mem);
     frames_[i]->Reset();
     lru_.push_back(i);

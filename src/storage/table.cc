@@ -1,5 +1,6 @@
 #include "storage/table.h"
 
+#include <cassert>
 #include <cstdlib>
 #include <cstring>
 #include <set>
@@ -75,6 +76,9 @@ Result<Page*> Table::CurrentWritePage() {
         return Status::ExecError("out of memory allocating table page");
       }
       Page* p = static_cast<Page*>(mem);
+      // Pages are handed to generated SIMD kernels as staged-column input:
+      // kPageSize (>= 64) alignment keeps every aligned vector load legal.
+      assert((reinterpret_cast<uintptr_t>(p) & 63u) == 0);
       p->Reset();
       owned_pages_.push_back(p);
       ++num_pages_;

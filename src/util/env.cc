@@ -117,5 +117,11 @@ int64_t EnvInt(const std::string& name, int64_t def) {
   return static_cast<int64_t>(parsed);
 }
 
+std::string EnvString(const std::string& name, const std::string& def) {
+  const char* v = std::getenv(name.c_str());
+  if (v == nullptr || *v == '\0') return def;
+  return std::string(v);
+}
+
 }  // namespace env
 }  // namespace hique

@@ -45,6 +45,10 @@ const std::string& ProcessTempDir();
 /// runtime knobs like HQ_THREADS).
 int64_t EnvInt(const std::string& name, int64_t def);
 
+/// String environment variable, or `def` when unset/empty (used for
+/// runtime knobs like HQ_SIMD).
+std::string EnvString(const std::string& name, const std::string& def);
+
 }  // namespace env
 }  // namespace hique
 
