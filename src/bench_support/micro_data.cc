@@ -1,6 +1,8 @@
 #include "bench_support/micro_data.h"
 
+#include <algorithm>
 #include <cinttypes>
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 
@@ -36,16 +38,38 @@ Result<Table*> MakeMicroTable(Catalog* catalog, const std::string& name,
       std::swap(keys[i], keys[j]);
     });
   }
+  // Zipfian draw by inversion over the exact cumulative mass of the
+  // (bounded) distribution: key k gets weight 1/(k+1)^zipf. The CDF is
+  // precomputed once per table, so generation stays deterministic in the
+  // seed and identical across platforms.
+  std::vector<double> zipf_cdf;
+  if (spec.zipf > 0.0 && !spec.unique_dense) {
+    zipf_cdf.resize(static_cast<size_t>(spec.key_domain));
+    double total = 0.0;
+    for (int64_t k = 0; k < spec.key_domain; ++k) {
+      total += 1.0 / std::pow(static_cast<double>(k + 1), spec.zipf);
+      zipf_cdf[static_cast<size_t>(k)] = total;
+    }
+    for (double& c : zipf_cdf) c /= total;
+  }
   const Schema& schema = table->schema();
   uint32_t off_k = schema.OffsetAt(0), off_v = schema.OffsetAt(1),
            off_a = schema.OffsetAt(2), off_b = schema.OffsetAt(3),
            off_pad = schema.OffsetAt(4);
   for (uint64_t i = 0; i < spec.rows; ++i) {
     HQ_ASSIGN_OR_RETURN(uint8_t * tup, table->AppendTupleSlot());
-    int32_t k = spec.unique_dense
-                    ? keys[i]
-                    : static_cast<int32_t>(rng.NextBounded(
-                          static_cast<uint64_t>(spec.key_domain)));
+    int32_t k;
+    if (spec.unique_dense) {
+      k = keys[i];
+    } else if (!zipf_cdf.empty()) {
+      double u = rng.NextDouble();
+      auto it = std::lower_bound(zipf_cdf.begin(), zipf_cdf.end(), u);
+      if (it == zipf_cdf.end()) --it;
+      k = static_cast<int32_t>(it - zipf_cdf.begin());
+    } else {
+      k = static_cast<int32_t>(
+          rng.NextBounded(static_cast<uint64_t>(spec.key_domain)));
+    }
     int32_t v = static_cast<int32_t>(rng.NextBounded(10000));
     double a = static_cast<double>(v) * 0.25 + 1.0;
     double b = static_cast<double>(k) * 0.5;

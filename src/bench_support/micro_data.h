@@ -22,6 +22,11 @@ struct MicroTableSpec {
   /// When true, keys are an exact shuffled permutation of [0, key_domain)
   /// (requires rows == key_domain). Used for the Fig. 7(b) 100k tables.
   bool unique_dense = false;
+  /// When > 0, keys follow a Zipfian distribution with this exponent over
+  /// [0, key_domain) instead of the uniform draw: key k has probability
+  /// proportional to 1/(k+1)^zipf. Used by the skew-scheduling benchmarks
+  /// and tests (zipf=1.0 puts ~10% of a 10k-key domain on the hottest key).
+  double zipf = 0.0;
   uint64_t seed = 42;
 };
 

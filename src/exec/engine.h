@@ -155,6 +155,12 @@ struct SessionStats {
   uint64_t queue_depth = 0;     // currently queued, not yet dispatched
   double total_wait_ms = 0;     // cumulative queue wait across dispatches
   uint64_t streams_opened = 0;  // cursors opened (QueryStream/ExecuteStream)
+  // Parallel-execution gauges: the executor-slot count of the most recent
+  // completed statement (after engine/session clamping — the width queries
+  // actually ran at) and the worst per-barrier skew ratio (slowest task /
+  // mean task wall time; 0 until a statement completes) seen so far.
+  uint32_t threads_effective = 0;
+  double max_skew_ratio = 0;
 };
 
 /// Per-session execution settings: every statement a Session runs inherits
@@ -449,12 +455,20 @@ class HiqueEngine {
   /// this engine loads is pinned to this level.
   int32_t simd_level() const { return simd_level_; }
 
-  /// Clamps a requested worker count to the supported range [1, 256] —
+  /// Clamps a requested worker count to what the host can actually run —
   /// the constructor applies this to EngineOptions::threads / HQ_THREADS,
-  /// and benchmarks use it so their column labels match the engine.
+  /// and benchmarks use it so their column labels match the engine. The
+  /// ceiling is hardware_concurrency with bounded (2x) oversubscription,
+  /// never below 16: executor counts past that only add barrier overhead
+  /// and idle pool threads, while a floor of 16 keeps deliberately
+  /// oversubscribed runs (sanitizer jobs, small CI hosts) meaningful.
+  /// Results are unaffected either way — task decomposition is data-only.
   static uint32_t ClampThreads(int64_t threads) {
     if (threads < 1) return 1;
-    if (threads > 256) return 256;
+    uint32_t hw = std::thread::hardware_concurrency();
+    uint32_t cap = 2 * (hw > 0 ? hw : 1);
+    if (cap < 16) cap = 16;
+    if (threads > static_cast<int64_t>(cap)) return cap;
     return static_cast<uint32_t>(threads);
   }
 

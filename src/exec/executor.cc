@@ -4,6 +4,7 @@
 
 #include <atomic>
 #include <cassert>
+#include <chrono>
 #include <cstdlib>
 #include <cstring>
 #include <memory>
@@ -37,13 +38,15 @@ struct StreamSink {
   const PageAllocFn* alloc_page = nullptr;  // null/empty => posix_memalign
   HqQueryCtx* ctx = nullptr;
   Page* current = nullptr;
+  // Bulk-protocol pages (parallel ORDER BY merge): allocated up front,
+  // owned by the sink until result_emit_pages delivers them, so an error
+  // in between leaks nothing.
+  std::vector<Page*> bulk;
 
-  static HqPage* NewPage(void* self) {
-    auto* sink = static_cast<StreamSink*>(self);
-    if (!sink->Flush()) return nullptr;
+  Page* AllocOnePage() {
     Page* page = nullptr;
-    if (sink->alloc_page != nullptr && *sink->alloc_page) {
-      page = (*sink->alloc_page)();
+    if (alloc_page != nullptr && *alloc_page) {
+      page = (*alloc_page)();
       if (page == nullptr) return nullptr;
     } else {
       void* mem = nullptr;
@@ -57,8 +60,73 @@ struct StreamSink {
     // never carry heap garbage, so result pages are byte-deterministic
     // (parallel runs compare bit-identical to serial ones).
     std::memset(page, 0, kPageSize);
+    return page;
+  }
+
+  static HqPage* NewPage(void* self) {
+    auto* sink = static_cast<StreamSink*>(self);
+    if (!sink->Flush()) return nullptr;
+    Page* page = sink->AllocOnePage();
+    if (page == nullptr) return nullptr;
     sink->current = page;
     return reinterpret_cast<HqPage*>(page);
+  }
+
+  /// ctx->result_alloc_pages: pre-allocates `count` zeroed pages for the
+  /// parallel final-output writer. The sink keeps ownership.
+  static int32_t AllocPages(void* self, HqPage** pages, uint64_t count) {
+    auto* sink = static_cast<StreamSink*>(self);
+    if (!sink->Flush()) return -1;  // never interleaves in practice
+    sink->bulk.reserve(sink->bulk.size() + count);
+    for (uint64_t i = 0; i < count; ++i) {
+      Page* page = sink->AllocOnePage();
+      if (page == nullptr) {
+        if (sink->ctx->error == HQ_OK) sink->ctx->error = HQ_ERR_OOM;
+        return -1;
+      }
+      sink->bulk.push_back(page);
+      pages[i] = reinterpret_cast<HqPage*>(page);
+    }
+    return 0;
+  }
+
+  /// ctx->result_emit_pages: seals tuple counts and delivers the first
+  /// `count` bulk pages in order, with the same per-page cancellation
+  /// window and metric accounting (one helper call per page, `rows`
+  /// tuples) as the incremental hq_result_slot path — so serial and
+  /// parallel executions of one query report identical counters.
+  static int32_t EmitPages(void* self, uint64_t count, uint64_t rows) {
+    auto* sink = static_cast<StreamSink*>(self);
+    HqQueryCtx* ctx = sink->ctx;
+    HQ_CHECK_MSG(count <= sink->bulk.size(),
+                 "emitting result pages that were never allocated");
+    uint32_t tpp = ctx->result_tuples_per_page;
+    HQ_CHECK_MSG(count == (rows + tpp - 1) / tpp,
+                 "bulk page count disagrees with the emitted row count");
+    uint64_t delivered = 0;
+    int32_t rc = 0;
+    for (uint64_t i = 0; i < count; ++i) {
+      if (ctx->cancel != nullptr && *ctx->cancel != 0) {
+        if (ctx->error == HQ_OK) ctx->error = HQ_ERR_CANCELLED;
+        rc = -1;
+        break;
+      }
+      Page* page = sink->bulk[i];
+      uint64_t remaining = rows - i * tpp;
+      reinterpret_cast<HqPage*>(page)->num_tuples =
+          static_cast<uint32_t>(remaining < tpp ? remaining : tpp);
+      ++delivered;  // ownership passes regardless of the verdict
+      if (!(*sink->on_page)(page)) {
+        if (ctx->error == HQ_OK) ctx->error = HQ_ERR_CANCELLED;
+        rc = -1;
+        break;
+      }
+    }
+    sink->bulk.erase(sink->bulk.begin(),
+                     sink->bulk.begin() + static_cast<int64_t>(delivered));
+    ctx->helper_calls += delivered;
+    if (rc == 0) ctx->tuples_emitted += rows;
+    return rc;
   }
 
   /// Hands the completed current page to the consumer. False when the
@@ -78,6 +146,8 @@ struct StreamSink {
   void DiscardCurrent() {
     std::free(current);
     current = nullptr;
+    for (Page* p : bulk) std::free(p);
+    bulk.clear();
   }
 };
 
@@ -104,12 +174,34 @@ struct ParallelService {
   uint32_t num_workers = 1;
   const std::atomic<int32_t>* cancel = nullptr;
   int priority = 0;
+  // Barrier/skew metrics, folded once per Invoke. The counts are as
+  // deterministic as the task decomposition itself; only the skew ratio
+  // (wall-time based) varies between runs.
+  uint64_t barriers = 0;
+  uint64_t tasks = 0;
+  double max_skew = 0.0;
 
   /// Task-granular cancellation: checked before each task runs, so a
   /// cancelled query abandons the rest of an in-flight barrier through the
   /// sticky-error path instead of finishing it.
   bool Cancelled() const {
     return cancel != nullptr && cancel->load(std::memory_order_acquire) != 0;
+  }
+
+  /// Runs one task on worker `w`, charging its wall time to the worker's
+  /// timing block (engine-side only — generated code never sees clocks).
+  int32_t RunTimed(HqQueryCtx* ctx, HqWorkerCtx* w, uint32_t task, HqTaskFn fn,
+                   void* arg) const {
+    auto start = std::chrono::steady_clock::now();
+    int32_t rc = fn(ctx, w, task, arg);
+    auto ns = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - start)
+            .count());
+    w->task_ns += ns;
+    if (ns > w->max_task_ns) w->max_task_ns = ns;
+    ++w->tasks_run;
+    return rc;
   }
 
   static int32_t Invoke(void* self, HqQueryCtx* ctx, uint32_t num_tasks,
@@ -125,7 +217,7 @@ struct ParallelService {
           completed = false;
           break;
         }
-        if (fn(ctx, w, t, arg) != 0) {
+        if (s->RunTimed(ctx, w, t, fn, arg) != 0) {
           completed = false;
           break;
         }
@@ -142,20 +234,37 @@ struct ParallelService {
               s->workers[slot].error = HQ_ERR_CANCELLED;
               return HQ_ERR_CANCELLED;
             }
-            return fn(ctx, &s->workers[slot], task, arg);
+            return s->RunTimed(ctx, &s->workers[slot], task, fn, arg);
           },
           s->priority);
     }
     int32_t err = HQ_OK;
+    uint64_t sum_ns = 0, max_ns = 0, tasks_run = 0;
     for (uint32_t i = 0; i < s->num_workers; ++i) {
       HqWorkerCtx* w = &s->workers[i];
       ctx->pages_touched += w->pages_touched;
       ctx->tuples_emitted += w->tuples_emitted;
       ctx->helper_calls += w->helper_calls;
+      sum_ns += w->task_ns;
+      if (w->max_task_ns > max_ns) max_ns = w->max_task_ns;
+      tasks_run += w->tasks_run;
       w->pages_touched = 0;
       w->tuples_emitted = 0;
       w->helper_calls = 0;
+      w->task_ns = 0;
+      w->max_task_ns = 0;
+      w->tasks_run = 0;
       if (err == HQ_OK && w->error != HQ_OK) err = w->error;
+    }
+    // Per-barrier skew ratio: slowest task over mean task time. 1.0 means
+    // a perfectly balanced barrier; ~num_tasks means one task carried the
+    // whole barrier while the rest were trivial.
+    ++s->barriers;
+    s->tasks += num_tasks;
+    if (tasks_run > 0 && sum_ns > 0) {
+      double skew = static_cast<double>(max_ns) * tasks_run /
+                    static_cast<double>(sum_ns);
+      if (skew > s->max_skew) s->max_skew = skew;
     }
     // Fail-safe: a cancelled job must surface as an error even if the
     // failing task forgot to record a cause in its worker context —
@@ -352,6 +461,8 @@ Result<int64_t> ExecuteEntryStreaming(const std::vector<Table*>& tables,
   sink.alloc_page = &alloc_page;
   sink.ctx = &ctx;
   ctx.result_new_page = &StreamSink::NewPage;
+  ctx.result_alloc_pages = &StreamSink::AllocPages;
+  ctx.result_emit_pages = &StreamSink::EmitPages;
   ctx.result_sink = &sink;
   ctx.scheduler = &par_service;
 
@@ -393,6 +504,9 @@ Result<int64_t> ExecuteEntryStreaming(const std::vector<Table*>& tables,
       stats->arena_bytes += wa->total_allocated();
     }
     stats->threads = num_workers;
+    stats->par_barriers = par_service.barriers;
+    stats->par_tasks = par_service.tasks;
+    stats->skew_ratio = par_service.max_skew;
   }
   return rows;
 }

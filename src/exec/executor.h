@@ -26,6 +26,14 @@ struct ExecStats {
   uint64_t helper_calls = 0;
   uint64_t arena_bytes = 0;    // query arena + all worker arenas
   uint32_t threads = 1;        // executor slots the run could schedule on
+  // Parallel-stage shape. Barrier and task counts follow from the plan and
+  // the data alone (task decomposition never depends on the thread count),
+  // so they compare equal across thread settings; the skew ratio is the
+  // worst barrier's slowest-task / mean-task wall time (0 = no barriers
+  // ran, 1.0 = perfectly balanced) and, being timing, is NOT deterministic.
+  uint64_t par_barriers = 0;
+  uint64_t par_tasks = 0;
+  double skew_ratio = 0;
 };
 
 /// Intra-query parallelism wiring for one execution. Defaults describe the

@@ -131,6 +131,25 @@ void StreamCore::CancelAndClose() {
 
 namespace {
 
+/// Folds a completed statement's execution stats into the session gauges
+/// behind Session::Stats(): effective executor width (last statement wins)
+/// and the lifetime-max per-barrier skew ratio.
+void RecordExecGauges(Session::State* session, const exec::ExecStats& stats) {
+  if (session == nullptr) return;
+  session->stat_threads_effective.store(stats.threads,
+                                        std::memory_order_relaxed);
+  auto skew_milli = static_cast<uint64_t>(stats.skew_ratio * 1000.0);
+  uint64_t cur = session->stat_skew_milli.load(std::memory_order_relaxed);
+  while (skew_milli > cur &&
+         !session->stat_skew_milli.compare_exchange_weak(
+             cur, skew_milli, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+namespace {
+
 Status SessionClosedError() {
   return Status::ExecError("session is closed");
 }
@@ -293,6 +312,7 @@ bool SessionImpl::FinishStream(ResultSet::Stream* s) {
     peak = s->core->peak_resident;
   }
   if (peak > s->stats_peak_pages) s->stats_peak_pages = peak;
+  RecordExecGauges(s->session.get(), stats);
   if (status.ok()) {
     s->stats = stats;
     s->timings.execute_ms = s->exec_timer.ElapsedMillis();
@@ -545,6 +565,7 @@ Result<QueryResult> SessionImpl::DrainInline(ResultSet::Stream* s) {
     }
     s->stats = stats;
     s->timings.execute_ms = s->exec_timer.ElapsedMillis();
+    RecordExecGauges(s->session.get(), stats);
     if (s->restarted && !s->is_execute) {
       s->engine->InstallOverflowAlias(s->failed_signature, s->failed_params,
                                       *s->state);
@@ -979,6 +1000,10 @@ SessionStats Session::Stats() const {
       state_->stat_wait_micros.load(std::memory_order_relaxed) / 1000.0;
   st.streams_opened =
       state_->stat_streams_opened.load(std::memory_order_relaxed);
+  st.threads_effective =
+      state_->stat_threads_effective.load(std::memory_order_relaxed);
+  st.max_skew_ratio =
+      state_->stat_skew_milli.load(std::memory_order_relaxed) / 1000.0;
   return st;
 }
 

@@ -123,6 +123,12 @@ struct Session::State {
   std::atomic<uint64_t> stat_queued{0};
   std::atomic<int64_t> stat_wait_micros{0};
   std::atomic<uint64_t> stat_streams_opened{0};
+  // Parallel-execution gauges (SessionStats::threads_effective /
+  // max_skew_ratio): last completed statement's executor width, and the
+  // session-lifetime maximum of the per-statement skew ratio in millis
+  // (fixed-point so it fits a lock-free max update).
+  std::atomic<uint32_t> stat_threads_effective{0};
+  std::atomic<uint64_t> stat_skew_milli{0};
 
   std::mutex mu;
   std::vector<std::weak_ptr<StreamCore>> streams;

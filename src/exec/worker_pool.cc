@@ -21,16 +21,29 @@ WorkerPool::~WorkerPool() {
 }
 
 void WorkerPool::RunTasks(Job* job, uint32_t slot) {
+  const uint32_t n = job->num_tasks;
   for (;;) {
-    uint32_t t = job->next.fetch_add(1, std::memory_order_relaxed);
-    if (t >= job->num_tasks) return;
-    if (!job->cancelled.load(std::memory_order_acquire)) {
-      if ((*job->fn)(slot, t) != 0) {
-        job->cancelled.store(true, std::memory_order_release);
+    // Guided self-scheduling over the per-job claim index: claim
+    // ~1/(4*executors) of the (estimated) remaining tasks per atomic, at
+    // least one. Early claims are coarse so a long task queue costs few
+    // atomics; the final stretch degrades to single-task claims so idle
+    // executors can still share a skewed tail morsel by morsel.
+    uint32_t claimed = job->next.load(std::memory_order_relaxed);
+    uint32_t rem = claimed < n ? n - claimed : 1;
+    uint32_t c = rem / (4 * job->executors);
+    if (c < 1) c = 1;
+    uint32_t t0 = job->next.fetch_add(c, std::memory_order_relaxed);
+    if (t0 >= n) return;
+    uint32_t t1 = t0 + c < n ? t0 + c : n;
+    for (uint32_t t = t0; t < t1; ++t) {
+      if (!job->cancelled.load(std::memory_order_acquire)) {
+        if ((*job->fn)(slot, t) != 0) {
+          job->cancelled.store(true, std::memory_order_release);
+        }
       }
     }
-    if (job->done.fetch_add(1, std::memory_order_acq_rel) + 1 ==
-        job->num_tasks) {
+    if (job->done.fetch_add(t1 - t0, std::memory_order_acq_rel) + (t1 - t0) ==
+        n) {
       std::lock_guard<std::mutex> lk(job->mu);
       job->complete = true;
       job->cv.notify_all();
@@ -38,20 +51,28 @@ void WorkerPool::RunTasks(Job* job, uint32_t slot) {
   }
 }
 
-void WorkerPool::EraseIfDrained(const std::shared_ptr<Job>& job) {
-  if (job->next.load(std::memory_order_relaxed) < job->num_tasks) return;
-  std::lock_guard<std::mutex> lk(mu_);
-  auto it = std::find(jobs_.begin(), jobs_.end(), job);
-  if (it != jobs_.end()) jobs_.erase(it);
-}
-
 void WorkerPool::WorkerLoop(uint32_t slot) {
   for (;;) {
     std::shared_ptr<Job> job;
     {
       std::unique_lock<std::mutex> lk(mu_);
-      cv_.wait(lk, [&] { return stop_ || !jobs_.empty(); });
-      if (stop_) return;
+      for (;;) {
+        cv_.wait(lk, [&] { return stop_ || !jobs_.empty(); });
+        if (stop_) return;
+        // Drop drained jobs (every task claimed) lazily while we already
+        // hold the mutex to pick work: the completion path no longer pays
+        // an O(jobs) deque scan per barrier, which used to serialize
+        // sessions on the pool mutex.
+        for (auto it = jobs_.begin(); it != jobs_.end();) {
+          if ((*it)->next.load(std::memory_order_relaxed) >=
+              (*it)->num_tasks) {
+            it = jobs_.erase(it);
+          } else {
+            ++it;
+          }
+        }
+        if (!jobs_.empty()) break;
+      }
       // Claim tasks from the highest-priority pending job; FIFO within a
       // level (the deque preserves submission order, max_element keeps
       // the first maximum).
@@ -62,7 +83,6 @@ void WorkerPool::WorkerLoop(uint32_t slot) {
           });
     }
     RunTasks(job.get(), slot);
-    EraseIfDrained(job);
   }
 }
 
@@ -78,15 +98,17 @@ bool WorkerPool::ParallelFor(uint32_t num_tasks, const TaskFn& fn,
   auto job = std::make_shared<Job>();
   job->fn = &fn;
   job->num_tasks = num_tasks;
+  job->executors = num_executors();
   job->priority = priority;
   {
     std::lock_guard<std::mutex> lk(mu_);
     jobs_.push_back(job);
   }
   cv_.notify_all();
-  // The caller claims tasks too, as the last executor slot.
+  // The caller claims tasks too, as the last executor slot. The drained
+  // job is pruned from the deque lazily by the next worker that passes
+  // through the selection path (see WorkerLoop).
   RunTasks(job.get(), static_cast<uint32_t>(threads_.size()));
-  EraseIfDrained(job);
   std::unique_lock<std::mutex> lk(job->mu);
   job->cv.wait(lk, [&] { return job->complete; });
   return !job->cancelled.load(std::memory_order_acquire);

@@ -61,7 +61,12 @@ class WorkerPool {
   struct Job {
     const TaskFn* fn = nullptr;
     uint32_t num_tasks = 0;
+    uint32_t executors = 1;  // pool width, sizes the guided claim chunks
     int priority = 0;
+    // Chunked morsel claim index: executors grab a decreasing-size block
+    // of consecutive tasks per fetch_add (guided self-scheduling) instead
+    // of one task per atomic. Decomposition is still fixed by the caller —
+    // chunking only changes which thread runs which tasks, never results.
     std::atomic<uint32_t> next{0};       // next task to claim
     std::atomic<uint32_t> done{0};       // finished (or skipped) tasks
     std::atomic<bool> cancelled{false};  // a task returned nonzero
@@ -72,8 +77,6 @@ class WorkerPool {
 
   void WorkerLoop(uint32_t slot);
   static void RunTasks(Job* job, uint32_t slot);
-  /// Drops the job from the queue once every task has been claimed.
-  void EraseIfDrained(const std::shared_ptr<Job>& job);
 
   std::vector<std::thread> threads_;
   std::mutex mu_;

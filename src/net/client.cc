@@ -359,6 +359,8 @@ Result<RemoteSessionStats> Client::Close() {
   HQ_RETURN_IF_ERROR(r.U64(&stats.queue_depth));
   HQ_RETURN_IF_ERROR(r.F64(&stats.total_wait_ms));
   HQ_RETURN_IF_ERROR(r.U64(&stats.streams_opened));
+  HQ_RETURN_IF_ERROR(r.U64(&stats.threads_effective));
+  HQ_RETURN_IF_ERROR(r.F64(&stats.max_skew_ratio));
   sock_.Close();
   return stats;
 }

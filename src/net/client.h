@@ -34,6 +34,8 @@ struct RemoteSessionStats {
   uint64_t queue_depth = 0;
   double total_wait_ms = 0;
   uint64_t streams_opened = 0;
+  uint64_t threads_effective = 0;  // executor width of the last statement
+  double max_skew_ratio = 0;       // worst per-barrier skew ratio observed
 };
 
 /// Pull cursor over one remote query's result stream, mirroring the

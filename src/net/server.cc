@@ -322,6 +322,8 @@ bool Server::HandleFrame(Connection* conn, const Frame& frame) {
       w.U64(st.queue_depth);
       w.F64(st.total_wait_ms);
       w.U64(st.streams_opened);
+      w.U64(st.threads_effective);
+      w.F64(st.max_skew_ratio);
       SendFrame(conn, static_cast<uint8_t>(MsgType::kCloseAck), w.buffer());
       conn->closing = true;
       return true;

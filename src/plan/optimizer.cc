@@ -227,6 +227,20 @@ class Planner {
     return std::max<uint32_t>(2, NextPow2(parts));
   }
 
+  /// Task-count cap for splitter-partitioned parallel stages, from catalogue
+  /// cardinality only (never the thread count, which would leak into the
+  /// generated source). Target ≈4× a nominal 8-executor pool so skewed task
+  /// durations still fill every worker; clamp so tiny inputs stay serial —
+  /// below ~2 grains the splitter bookkeeping costs more than it buys.
+  static uint32_t ChooseParTasks(uint64_t est_rows) {
+    constexpr uint64_t kMinRowsPerTask = 8192;
+    constexpr uint32_t kTargetTasks = 32;
+    if (est_rows < 2 * kMinRowsPerTask) return 1;
+    uint64_t tasks = est_rows / kMinRowsPerTask;
+    return tasks >= kTargetTasks ? kTargetTasks
+                                 : static_cast<uint32_t>(tasks);
+  }
+
   // ---- staging helpers -------------------------------------------------
 
   RecordLayout ProjectLayout(const StreamInfo& in, int table_for_base) const {
@@ -407,6 +421,8 @@ class Planner {
       est /= static_cast<double>(max_d);
     }
     est_rows = static_cast<uint64_t>(std::max(1.0, est));
+    // Ranges split the outer (largest) input; its cardinality sets the cap.
+    op.par_tasks = ChooseParTasks(plan_->streams[ordered[0].first].est_rows);
     std::vector<ColRef> sorted_on;
     if (algo == JoinAlgo::kMerge) sorted_on.push_back(ordered[0].second);
     op.out_stream = NewStream(op.output, est_rows, std::move(sorted_on));
@@ -590,6 +606,8 @@ class Planner {
     for (int s : op.input_streams) {
       op.output.AppendConcat(plan_->streams[s].layout);
     }
+    // Merge ranges split input 0; its estimated cardinality sets the cap.
+    op.par_tasks = ChooseParTasks(lrows);
     std::vector<ColRef> sorted_on;
     if (algo == JoinAlgo::kMerge) sorted_on.push_back(lkey);
     op.out_stream = NewStream(op.output, est_rows, std::move(sorted_on));
@@ -727,6 +745,9 @@ class Planner {
                           q_->aggs[a].out_type,
                           "agg" + std::to_string(a)});
     }
+    if (algo == AggAlgo::kSort && !op.group_fields.empty()) {
+      op.par_tasks = ChooseParTasks(in->est_rows);
+    }
     std::vector<ColRef> sorted_out;
     if (algo == AggAlgo::kSort) sorted_out = q_->group_by;
     op.out_stream = NewStream(op.output, groups_est, std::move(sorted_out));
@@ -858,6 +879,7 @@ class Planner {
     }
     op.order_by = q_->order_by;
     op.limit = q_->limit;
+    op.par_tasks = ChooseParTasks(in.est_rows);
 
     // Interesting order: the final sort is a no-op when the input stream is
     // already sorted on the order-by columns (ascending).

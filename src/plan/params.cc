@@ -274,7 +274,7 @@ std::string PlanSignature(const PhysicalPlan& plan) {
       SigIntList(out, join->input_streams);
       out << ",out=" << join->out_stream << ",keys=";
       SigIntList(out, join->key_fields);
-      out << ",M=" << join->num_partitions;
+      out << ",M=" << join->num_partitions << ",pt=" << join->par_tasks;
       SigLayout(out, join->output);
       if (join->fuse_scalar_agg) {
         out << ",fused";
@@ -287,7 +287,8 @@ std::string PlanSignature(const PhysicalPlan& plan) {
           << ",in=" << agg->input_stream << ",out=" << agg->out_stream
           << ",keys=";
       SigIntList(out, agg->group_fields);
-      out << ",M=" << agg->num_partitions << ",caps=";
+      out << ",M=" << agg->num_partitions << ",pt=" << agg->par_tasks
+          << ",caps=";
       SigIntList(out, agg->directory_capacity);
       out << ",dense=";
       SigIntList(out, agg->directory_dense);
@@ -322,7 +323,7 @@ std::string PlanSignature(const PhysicalPlan& plan) {
         out << spec.output_index << (spec.desc ? "d" : "a") << ",";
       }
       out << "sorted=" << output->already_sorted
-          << ",limit=" << output->limit << "}";
+          << ",limit=" << output->limit << ",pt=" << output->par_tasks << "}";
     }
     out << "\n";
   }

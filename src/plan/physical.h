@@ -102,6 +102,14 @@ struct JoinOp {
   bool fuse_scalar_agg = false;
   RecordLayout fused_output;
   const sql::BoundQuery* query = nullptr;  // for aggregate specs when fused
+
+  /// Upper bound on merge-range tasks for a kMerge join, chosen by the
+  /// optimizer from catalogue cardinality statistics (≈4× the nominal
+  /// executor count for skew headroom; 1 keeps tiny inputs serial). The
+  /// generated code derives the actual task count from this cap and the
+  /// run-time input size only — never from the thread count — so the
+  /// decomposition, and with it the result, is identical at every width.
+  uint32_t par_tasks = 1;
 };
 
 enum class AggAlgo {
@@ -128,6 +136,11 @@ struct AggOp {
   std::vector<int64_t> directory_min;      // dense base value
   RecordLayout output;  // group key fields then one field per aggregate
   int out_stream = -1;
+
+  /// Task-count cap for the kSort grouped scan (see JoinOp::par_tasks).
+  /// Group boundaries are found by binary search so no group straddles two
+  /// tasks; scalar (ungrouped) aggregation ignores this and stays serial.
+  uint32_t par_tasks = 1;
 };
 
 /// Final projection, optional order-by over the projected record, limit, and
@@ -146,6 +159,11 @@ struct OutputOp {
   std::vector<sql::OrderSpec> order_by;  // indexes into items
   bool already_sorted = false;  // interesting order made the sort a no-op
   int64_t limit = -1;
+
+  /// Task-count cap for the parallel row build and the splitter-partitioned
+  /// k-way final merge when the query has an ORDER BY (see
+  /// JoinOp::par_tasks for the determinism contract).
+  uint32_t par_tasks = 1;
 };
 
 using Op = std::variant<StageOp, JoinOp, AggOp, OutputOp>;
