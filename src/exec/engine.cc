@@ -95,6 +95,25 @@ HiqueEngine::HiqueEngine(Catalog* catalog, EngineOptions options)
   if (threads_ > 1) {
     worker_pool_ = std::make_unique<exec::WorkerPool>(threads_ - 1);
   }
+  if (!options_.compression) {
+    std::string env = env::EnvString("HQ_COMPRESS", "");
+    options_.compression = (env == "1" || env == "on");
+  }
+  if (options_.buffer_pool_pages == 0) {
+    options_.buffer_pool_pages =
+        static_cast<uint64_t>(env::EnvInt("HQ_BUFFER_PAGES", 0));
+  }
+  if (options_.compression && catalog_ != nullptr) {
+    // Compress every eligible table before any plan can be cached: the plan
+    // signature embeds the codec, and Table::Compress bumps the statistics
+    // version, so doing this once up front keeps cache keys stable for the
+    // engine's lifetime. Best-effort — a table whose statistics are stale
+    // or whose data rejects its codec simply stays uncompressed.
+    for (const std::string& name : catalog_->TableNames()) {
+      auto t = catalog_->GetTable(name);
+      if (t.ok()) (void)t.value()->Compress();
+    }
+  }
   default_session_ = OpenSession({});
 }
 

@@ -134,6 +134,23 @@ struct EngineOptions {
   // (buffered + one being filled + one held by the reader) regardless of
   // result cardinality.
   uint32_t stream_buffer_pages = 4;
+  // Compressed columnar storage: when enabled (or HQ_COMPRESS=1/on in the
+  // environment), the constructor compresses every catalogue table whose
+  // statistics justify an encoding (storage::ChooseTableCodec) and the
+  // code generator fuses the per-column decode kernels into its scan
+  // loops. Results are bit-identical to uncompressed execution; tables the
+  // codec chooser declines (high-entropy / double-heavy) stay NSM and
+  // their plans and generated source are byte-identical to a
+  // compression-off engine. Appending to a compressed table transparently
+  // decompresses it first (like dropping an index on write).
+  bool compression = false;
+  // Buffer-pool frame cap for file-backed tables opened through
+  // Catalog::OpenFileBackedBufferManager-style setups owned by the caller;
+  // the engine itself only *reads* this — benchmarks (bench/fig8_tpch) use
+  // it to size the pool for the beyond-memory regime. 0 resolves to the
+  // HQ_BUFFER_PAGES environment variable, then to "unlimited" (pool sized
+  // by its owner).
+  uint64_t buffer_pool_pages = 0;
   // Server-facing defaults consumed by the hiqued wire front-end
   // (net::Server): where to listen and how many concurrent client
   // connections to accept. listen_port 0 binds an ephemeral port (the
@@ -161,6 +178,13 @@ struct SessionStats {
   // mean task wall time; 0 until a statement completes) seen so far.
   uint32_t threads_effective = 0;
   double max_skew_ratio = 0;
+  // Buffer-pool activity of this session's completed statements: cumulative
+  // hit/miss/eviction deltas (ExecStats::bp_*). Zero when every table the
+  // session touched is in-memory. Reported to remote clients in the wire
+  // protocol's CloseAck summary.
+  uint64_t bp_hits = 0;
+  uint64_t bp_misses = 0;
+  uint64_t bp_evictions = 0;
 };
 
 /// Per-session execution settings: every statement a Session runs inherits

@@ -2,6 +2,7 @@
 
 #include <dlfcn.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cassert>
 #include <chrono>
@@ -390,9 +391,27 @@ Result<int64_t> ExecuteEntryStreaming(const std::vector<Table*>& tables,
                                       const ParallelRuntime& par,
                                       const ResultPageFn& on_page,
                                       const PageAllocFn& alloc_page) {
+  // Snapshot buffer-pool counters of every distinct pool involved so the
+  // stats block below can report this run's deltas (ExecStats::bp_*).
+  std::vector<BufferManager*> pools;
+  for (Table* table : tables) {
+    BufferManager* bm = table->buffer_manager();
+    if (bm != nullptr &&
+        std::find(pools.begin(), pools.end(), bm) == pools.end()) {
+      pools.push_back(bm);
+    }
+  }
+  uint64_t bp_hits0 = 0, bp_misses0 = 0, bp_evictions0 = 0;
+  for (BufferManager* bm : pools) {
+    bp_hits0 += bm->hit_count();
+    bp_misses0 += bm->miss_count();
+    bp_evictions0 += bm->eviction_count();
+  }
+
   // Pin every base table in memory (main-memory execution, paper §VI).
   std::vector<PinnedPages> pinned(tables.size());
   std::vector<std::vector<uint8_t*>> page_ptrs(tables.size());
+  std::vector<std::vector<const uint8_t*>> dict_ptrs(tables.size());
   std::vector<HqTableRef> refs(tables.size());
   for (size_t t = 0; t < tables.size(); ++t) {
     HQ_ASSIGN_OR_RETURN(pinned[t], tables[t]->Pin());
@@ -403,8 +422,18 @@ Result<int64_t> ExecuteEntryStreaming(const std::vector<Table*>& tables,
     refs[t].pages = page_ptrs[t].data();
     refs[t].page_count = page_ptrs[t].size();
     refs[t].tuple_size = tables[t]->tuple_size();
-    refs[t].tuples_per_page = tables[t]->tuples_per_page();
+    // Compressed tables pack more tuples per page; the generated code's
+    // decode constants were baked from the same codec at plan time.
+    refs[t].tuples_per_page = tables[t]->effective_tuples_per_page();
     refs[t].tuple_count = tables[t]->NumTuples();
+    refs[t].compressed = tables[t]->codec().enabled ? 1 : 0;
+    if (refs[t].compressed != 0) {
+      dict_ptrs[t].reserve(tables[t]->dicts().size());
+      for (const auto& d : tables[t]->dicts()) {
+        dict_ptrs[t].push_back(d.empty() ? nullptr : d.data());
+      }
+      refs[t].col_dicts = dict_ptrs[t].data();
+    }
   }
 
   // Scratch memory: one shared arena for serial sections plus one arena per
@@ -507,6 +536,15 @@ Result<int64_t> ExecuteEntryStreaming(const std::vector<Table*>& tables,
     stats->par_barriers = par_service.barriers;
     stats->par_tasks = par_service.tasks;
     stats->skew_ratio = par_service.max_skew;
+    uint64_t bp_hits1 = 0, bp_misses1 = 0, bp_evictions1 = 0;
+    for (BufferManager* bm : pools) {
+      bp_hits1 += bm->hit_count();
+      bp_misses1 += bm->miss_count();
+      bp_evictions1 += bm->eviction_count();
+    }
+    stats->bp_hits = bp_hits1 - bp_hits0;
+    stats->bp_misses = bp_misses1 - bp_misses0;
+    stats->bp_evictions = bp_evictions1 - bp_evictions0;
   }
   return rows;
 }

@@ -144,6 +144,11 @@ void RecordExecGauges(Session::State* session, const exec::ExecStats& stats) {
          !session->stat_skew_milli.compare_exchange_weak(
              cur, skew_milli, std::memory_order_relaxed)) {
   }
+  session->stat_bp_hits.fetch_add(stats.bp_hits, std::memory_order_relaxed);
+  session->stat_bp_misses.fetch_add(stats.bp_misses,
+                                    std::memory_order_relaxed);
+  session->stat_bp_evictions.fetch_add(stats.bp_evictions,
+                                       std::memory_order_relaxed);
 }
 
 }  // namespace
@@ -1004,6 +1009,10 @@ SessionStats Session::Stats() const {
       state_->stat_threads_effective.load(std::memory_order_relaxed);
   st.max_skew_ratio =
       state_->stat_skew_milli.load(std::memory_order_relaxed) / 1000.0;
+  st.bp_hits = state_->stat_bp_hits.load(std::memory_order_relaxed);
+  st.bp_misses = state_->stat_bp_misses.load(std::memory_order_relaxed);
+  st.bp_evictions =
+      state_->stat_bp_evictions.load(std::memory_order_relaxed);
   return st;
 }
 

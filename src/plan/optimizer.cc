@@ -304,6 +304,9 @@ class Planner {
         op.filter_selectivity *= FilterSelectivity(f);
       }
       op.output = ProjectLayout(in, in.base_table_index);
+      // Bake the table's compression codec into the plan: codegen emits
+      // fused decode kernels from it and the signature carries it.
+      op.input_codec = q_->tables[in.base_table_index]->codec();
     } else {
       op.output = ProjectLayout(in, -1);
     }
@@ -732,6 +735,7 @@ class Planner {
           op.filter_selectivity *= FilterSelectivity(f);
         }
       }
+      op.input_codec = q_->tables[in->base_table_index]->codec();
     }
     // Group fields & output layout.
     for (ColRef g : q_->group_by) {

@@ -229,6 +229,34 @@ void SigIntList(std::ostream& out, const std::vector<T>& v) {
   out << "]";
 }
 
+/// Base-table compression codec: every constant codegen bakes into the
+/// fused decode kernels must key the cached library. Omitted entirely for
+/// uncompressed inputs, keeping pre-compression signatures (and cached
+/// libraries) byte-stable.
+void SigCodec(std::ostream& out, const TableCodec& tc) {
+  if (!tc.enabled) return;
+  out << ",enc=tpc" << tc.tuples_per_cpage << "[";
+  for (size_t c = 0; c < tc.cols.size(); ++c) {
+    if (c) out << ";";
+    const ColumnCodec& cc = tc.cols[c];
+    switch (cc.enc) {
+      case ColEncoding::kRaw:
+        out << "r";
+        break;
+      case ColEncoding::kFOR:
+        out << "f:" << cc.bits << ":" << cc.base;
+        break;
+      case ColEncoding::kDelta:
+        out << "d:" << cc.bits;
+        break;
+      case ColEncoding::kDict:
+        out << "c:" << cc.bits << ":" << cc.dict_entries;
+        break;
+    }
+  }
+  out << "]";
+}
+
 }  // namespace
 
 void ParameterizePlan(PhysicalPlan* plan, ParamMode mode) {
@@ -266,6 +294,7 @@ std::string PlanSignature(const PhysicalPlan& plan) {
       SigIntList(out, stage->key_fields);
       out << ",M=" << stage->num_partitions << ",fmin=" << stage->fine_min
           << ",fclamp=" << stage->fine_clamp;
+      SigCodec(out, stage->input_codec);
       SigLayout(out, stage->output);
       for (const auto& f : stage->filters) SigFilter(out, f);
       out << "}";
@@ -294,6 +323,7 @@ std::string PlanSignature(const PhysicalPlan& plan) {
       SigIntList(out, agg->directory_dense);
       out << ",dmin=";
       SigIntList(out, agg->directory_min);
+      SigCodec(out, agg->input_codec);
       SigLayout(out, agg->output);
       const StreamInfo& in = plan.streams[agg->input_stream];
       if (in.is_base_table) {

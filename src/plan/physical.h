@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "sql/bound.h"
+#include "storage/compress.h"
 #include "storage/schema.h"
 
 namespace hique::plan {
@@ -73,6 +74,12 @@ struct StageOp {
   // (every row must aggregate; stale statistics must not lose groups).
   bool fine_clamp = false;
   int out_stream = -1;
+
+  /// Compression codec of the base-table input (enabled == false when the
+  /// input is uncompressed or an intermediate stream). Serialized into the
+  /// plan signature, so codegen can bake the decode layout as constants
+  /// while generated source stays host-independent.
+  TableCodec input_codec;
 };
 
 enum class JoinAlgo {
@@ -141,6 +148,10 @@ struct AggOp {
   /// Group boundaries are found by binary search so no group straddles two
   /// tasks; scalar (ungrouped) aggregation ignores this and stays serial.
   uint32_t par_tasks = 1;
+
+  /// kMap only: codec of the base table the fused scan reads (see
+  /// StageOp::input_codec).
+  TableCodec input_codec;
 };
 
 /// Final projection, optional order-by over the projected record, limit, and

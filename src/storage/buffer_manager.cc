@@ -262,6 +262,41 @@ Result<Page*> BufferManager::FetchPage(FileId file, uint64_t page_no) {
   }
 }
 
+Status BufferManager::ReadPageBypass(FileId file, uint64_t page_no,
+                                     Page* out) {
+  std::unique_lock<std::mutex> lk(mu_);
+  if (file >= files_.size()) return Status::InvalidArgument("bad file id");
+  for (;;) {
+    auto it = page_table_.find({file, page_no});
+    if (it == page_table_.end()) break;
+    FrameMeta& m = meta_[it->second];
+    if (m.io_in_progress) {
+      // Mid-load or mid-write-back: wait for settled bytes, then re-look.
+      io_cv_.wait(lk);
+      continue;
+    }
+    ++hits_;
+    std::memcpy(out, frames_[it->second], kPageSize);
+    return Status::OK();
+  }
+  if (page_no >= files_[file].page_count) {
+    return Status::InvalidArgument("page " + std::to_string(page_no) +
+                                   " beyond end of " + files_[file].path);
+  }
+  ++misses_;
+  const int fd = files_[file].fd;
+  const std::string path = files_[file].path;
+  // Read outside the lock. Base tables are not mutated during queries (the
+  // engine rule documented above), so a concurrent load of the same page
+  // yields the same bytes.
+  lk.unlock();
+  ssize_t n = ::pread(fd, out, kPageSize, static_cast<off_t>(page_no) * kPageSize);
+  if (n != kPageSize) {
+    return Status::IoError("pread " + path + ": " + std::strerror(errno));
+  }
+  return Status::OK();
+}
+
 void BufferManager::Unpin(FileId file, uint64_t page_no, bool dirty) {
   std::lock_guard<std::mutex> lk(mu_);
   auto it = page_table_.find({file, page_no});

@@ -59,6 +59,15 @@ class BufferManager {
   /// Releases one pin; `dirty` marks the frame for write-back.
   void Unpin(FileId file, uint64_t page_no, bool dirty);
 
+  /// Reads a page's current bytes into `out` without occupying a pool
+  /// frame (beyond-memory scans: a table larger than the pool streams
+  /// through query-local buffers instead of thrashing the LRU). A resident
+  /// frame is served by copy and counted as a hit — required for
+  /// correctness, since the table's pinned dirty tail page can be newer
+  /// than its disk image; a non-resident page is pread directly and counted
+  /// as a miss.
+  Status ReadPageBypass(FileId file, uint64_t page_no, Page* out);
+
   /// Writes all dirty frames back to their files.
   Status FlushAll();
 

@@ -1,0 +1,327 @@
+#include "storage/compress.h"
+
+#include <cstring>
+
+#include "codegen/runtime_abi.h"  // hq_unpack_bits: decode parity with codegen
+#include "storage/table.h"
+#include "util/macros.h"
+
+namespace hique {
+namespace {
+
+bool IsIntFamily(TypeId id) {
+  return id == TypeId::kInt32 || id == TypeId::kInt64 || id == TypeId::kDate;
+}
+
+int64_t ReadInt(const uint8_t* p, TypeId id) {
+  if (id == TypeId::kInt64) {
+    int64_t v;
+    std::memcpy(&v, p, 8);
+    return v;
+  }
+  int32_t v;
+  std::memcpy(&v, p, 4);
+  return v;
+}
+
+void WriteInt(uint8_t* p, TypeId id, int64_t v) {
+  if (id == TypeId::kInt64) {
+    std::memcpy(p, &v, 8);
+  } else {
+    int32_t n = static_cast<int32_t>(v);
+    std::memcpy(p, &n, 4);
+  }
+}
+
+uint64_t MaskFor(uint32_t bits) {
+  return bits == 0 ? 0 : (~0ull >> (64 - bits));
+}
+
+/// ORs a `bits`-wide value into an LSB-first packed segment. The segment is
+/// pre-zeroed and the page capacity rule leaves 8 bytes of slack past every
+/// segment, so the unaligned 8-byte window stays inside the page.
+void PackBits(uint8_t* seg, uint64_t idx, uint32_t bits, uint64_t u) {
+  uint64_t bo = idx * bits;
+  uint8_t* p = seg + (bo >> 3);
+  uint64_t w;
+  std::memcpy(&w, p, 8);
+  w |= u << (bo & 7u);
+  std::memcpy(p, &w, 8);
+}
+
+/// Page tuple capacity under `cols`: the largest nt whose aligned segments
+/// (plus the 8-byte unaligned-window slack) fit the page data area.
+uint32_t CapacityFor(const Schema& schema,
+                     const std::vector<ColumnCodec>& cols) {
+  auto fits = [&](uint32_t nt) {
+    uint64_t total = 0;
+    for (size_t c = 0; c < schema.NumColumns(); ++c) {
+      total += (SegmentBytes(cols[c], schema.ColumnAt(c).type.ByteSize(), nt) +
+                7ull) &
+               ~7ull;
+    }
+    return total + 8 <= kPageDataSize;
+  };
+  if (!fits(1)) return 0;
+  uint32_t nt = 1;
+  while (nt < kPageDataSize * 8u && fits(nt + 1)) ++nt;
+  return nt;
+}
+
+}  // namespace
+
+uint32_t BitsForRange(uint64_t v) {
+  return v == 0 ? 0 : 64u - static_cast<uint32_t>(__builtin_clzll(v));
+}
+
+uint64_t SegmentBytes(const ColumnCodec& cc, uint32_t width, uint32_t nt) {
+  if (nt == 0) return 0;
+  switch (cc.enc) {
+    case ColEncoding::kRaw:
+      return static_cast<uint64_t>(nt) * width;
+    case ColEncoding::kFOR:
+      return cc.bits == 0 ? 0
+                          : (static_cast<uint64_t>(nt) * cc.bits + 7) / 8;
+    case ColEncoding::kDelta:
+      return 8 + (nt > 1 && cc.bits > 0
+                      ? (static_cast<uint64_t>(nt - 1) * cc.bits + 7) / 8
+                      : 0);
+    case ColEncoding::kDict:
+      return cc.bits == 0 ? 0
+                          : (static_cast<uint64_t>(nt) * cc.bits + 7) / 8;
+  }
+  return 0;
+}
+
+TableCodec ChooseTableCodec(const Schema& schema, const TableStats& stats) {
+  TableCodec tc;
+  tc.cols.assign(schema.NumColumns(), ColumnCodec{});
+  if (!stats.valid || stats.rows == 0 ||
+      stats.columns.size() != schema.NumColumns()) {
+    return tc;  // disabled
+  }
+  for (size_t c = 0; c < schema.NumColumns(); ++c) {
+    const Type& t = schema.ColumnAt(c).type;
+    const ColumnStats& cs = stats.columns[c];
+    ColumnCodec& cc = tc.cols[c];
+    if (!cs.valid) continue;
+    if (IsIntFamily(t.id)) {
+      const int64_t lo = cs.min.AsInt64();
+      const int64_t hi = cs.max.AsInt64();
+      const uint64_t range =
+          static_cast<uint64_t>(hi) - static_cast<uint64_t>(lo);
+      const uint32_t fbits = BitsForRange(range);
+      const uint32_t width_bits = t.ByteSize() * 8;
+      const bool for_ok = fbits < width_bits && fbits <= kMaxPackedBits;
+      uint32_t best_bits = for_ok ? fbits : width_bits;
+      if (cs.sorted_asc && cs.max_step >= 0) {
+        const uint32_t dbits =
+            BitsForRange(static_cast<uint64_t>(cs.max_step));
+        if (dbits <= kMaxPackedBits && dbits < best_bits) {
+          cc.enc = ColEncoding::kDelta;
+          cc.bits = dbits;
+          continue;
+        }
+      }
+      if (for_ok) {
+        cc.enc = ColEncoding::kFOR;
+        cc.bits = fbits;
+        cc.base = lo;
+      }
+    } else if (t.id == TypeId::kChar) {
+      if (cs.distinct_exact && cs.distinct >= 1 &&
+          cs.distinct <= kMaxDictEntries) {
+        const uint32_t cbits = BitsForRange(cs.distinct - 1);
+        if (cbits < static_cast<uint32_t>(t.length) * 8 &&
+            cbits <= kMaxPackedBits) {
+          cc.enc = ColEncoding::kDict;
+          cc.bits = cbits;
+          cc.dict_entries = cs.distinct;
+        }
+      }
+    }
+    // kDouble (and anything unmatched) stays kRaw.
+  }
+  tc.tuples_per_cpage = CapacityFor(schema, tc.cols);
+  // Worth it only when a page holds strictly more tuples than NSM packing.
+  tc.enabled = tc.tuples_per_cpage > Page::TuplesPerPage(schema.TupleSize());
+  return tc;
+}
+
+Status EncodePage(const TableCodec& codec, const Schema& schema,
+                  const uint8_t* tuples, uint32_t nt,
+                  const std::vector<std::vector<uint8_t>>& dicts, Page* out) {
+  if (nt > codec.tuples_per_cpage) {
+    return Status::InvalidArgument("EncodePage: tuple count exceeds capacity");
+  }
+  const uint32_t ts = schema.TupleSize();
+  out->num_tuples = nt;
+  out->reserved = kCompressedPageMagic;
+  std::memset(out->data, 0, kPageDataSize);
+  uint64_t off = 0;
+  for (size_t c = 0; c < schema.NumColumns(); ++c) {
+    const Type& t = schema.ColumnAt(c).type;
+    const uint32_t coff = schema.OffsetAt(c);
+    const ColumnCodec& cc = codec.cols[c];
+    const uint32_t width = t.ByteSize();
+    uint8_t* seg = out->data + off;
+    off = (off + SegmentBytes(cc, width, nt) + 7ull) & ~7ull;
+    if (off + 8 > kPageDataSize) {
+      return Status::ExecError("EncodePage: segments overflow the page");
+    }
+    const uint64_t mask = MaskFor(cc.bits);
+    switch (cc.enc) {
+      case ColEncoding::kRaw:
+        for (uint32_t i = 0; i < nt; ++i) {
+          std::memcpy(seg + static_cast<uint64_t>(i) * width,
+                      tuples + static_cast<uint64_t>(i) * ts + coff, width);
+        }
+        break;
+      case ColEncoding::kFOR:
+        for (uint32_t i = 0; i < nt; ++i) {
+          const int64_t v =
+              ReadInt(tuples + static_cast<uint64_t>(i) * ts + coff, t.id);
+          const uint64_t u =
+              static_cast<uint64_t>(v) - static_cast<uint64_t>(cc.base);
+          if (u > mask) {
+            return Status::ExecError(
+                "EncodePage: value outside the FOR frame (stale statistics)");
+          }
+          if (cc.bits != 0) PackBits(seg, i, cc.bits, u);
+        }
+        break;
+      case ColEncoding::kDelta: {
+        int64_t prev = 0;
+        for (uint32_t i = 0; i < nt; ++i) {
+          const int64_t v =
+              ReadInt(tuples + static_cast<uint64_t>(i) * ts + coff, t.id);
+          if (i == 0) {
+            std::memcpy(seg, &v, 8);
+          } else {
+            if (v < prev) {
+              return Status::ExecError(
+                  "EncodePage: delta column not sorted (stale statistics)");
+            }
+            const uint64_t d =
+                static_cast<uint64_t>(v) - static_cast<uint64_t>(prev);
+            if (d > mask) {
+              return Status::ExecError(
+                  "EncodePage: delta exceeds the packed width "
+                  "(stale statistics)");
+            }
+            if (cc.bits != 0) PackBits(seg + 8, i - 1, cc.bits, d);
+          }
+          prev = v;
+        }
+        break;
+      }
+      case ColEncoding::kDict: {
+        const std::vector<uint8_t>& blob = dicts[c];
+        const uint32_t len = t.length;
+        if (blob.size() != cc.dict_entries * static_cast<uint64_t>(len)) {
+          return Status::ExecError("EncodePage: dictionary blob size mismatch");
+        }
+        for (uint32_t i = 0; i < nt; ++i) {
+          const uint8_t* v = tuples + static_cast<uint64_t>(i) * ts + coff;
+          uint64_t lo = 0, hi = cc.dict_entries;
+          while (lo < hi) {
+            const uint64_t mid = lo + (hi - lo) / 2;
+            if (std::memcmp(blob.data() + mid * len, v, len) < 0) {
+              lo = mid + 1;
+            } else {
+              hi = mid;
+            }
+          }
+          if (lo >= cc.dict_entries ||
+              std::memcmp(blob.data() + lo * len, v, len) != 0) {
+            return Status::ExecError(
+                "EncodePage: value missing from the dictionary "
+                "(stale statistics)");
+          }
+          if (cc.bits != 0) PackBits(seg, i, cc.bits, lo);
+        }
+        break;
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status DecodePage(const TableCodec& codec, const Schema& schema,
+                  const Page& page,
+                  const std::vector<std::vector<uint8_t>>& dicts,
+                  std::vector<uint8_t>* out) {
+  if (page.reserved != kCompressedPageMagic) {
+    return Status::ExecError("DecodePage: missing compressed-page marker");
+  }
+  const uint32_t nt = page.num_tuples;
+  if (nt > codec.tuples_per_cpage) {
+    return Status::ExecError("DecodePage: tuple count exceeds codec capacity");
+  }
+  const uint32_t ts = schema.TupleSize();
+  const size_t base_size = out->size();
+  out->resize(base_size + static_cast<uint64_t>(nt) * ts, 0);
+  uint8_t* rows = out->data() + base_size;
+  uint64_t off = 0;
+  for (size_t c = 0; c < schema.NumColumns(); ++c) {
+    const Type& t = schema.ColumnAt(c).type;
+    const uint32_t coff = schema.OffsetAt(c);
+    const ColumnCodec& cc = codec.cols[c];
+    const uint32_t width = t.ByteSize();
+    const uint8_t* seg = page.data + off;
+    off = (off + SegmentBytes(cc, width, nt) + 7ull) & ~7ull;
+    if (off + 8 > kPageDataSize) {
+      return Status::ExecError("DecodePage: segments overflow the page");
+    }
+    const uint64_t mask = MaskFor(cc.bits);
+    switch (cc.enc) {
+      case ColEncoding::kRaw:
+        for (uint32_t i = 0; i < nt; ++i) {
+          std::memcpy(rows + static_cast<uint64_t>(i) * ts + coff,
+                      seg + static_cast<uint64_t>(i) * width, width);
+        }
+        break;
+      case ColEncoding::kFOR:
+        for (uint32_t i = 0; i < nt; ++i) {
+          const uint64_t u =
+              cc.bits == 0 ? 0 : hq_unpack_bits(seg, i, cc.bits, mask);
+          WriteInt(rows + static_cast<uint64_t>(i) * ts + coff, t.id,
+                   cc.base + static_cast<int64_t>(u));
+        }
+        break;
+      case ColEncoding::kDelta: {
+        int64_t v = 0;
+        if (nt > 0) std::memcpy(&v, seg, 8);
+        for (uint32_t i = 0; i < nt; ++i) {
+          if (i > 0 && cc.bits != 0) {
+            v += static_cast<int64_t>(
+                hq_unpack_bits(seg + 8, i - 1, cc.bits, mask));
+          }
+          WriteInt(rows + static_cast<uint64_t>(i) * ts + coff, t.id, v);
+        }
+        break;
+      }
+      case ColEncoding::kDict: {
+        const std::vector<uint8_t>& blob = dicts[c];
+        const uint32_t len = t.length;
+        if (blob.size() != cc.dict_entries * static_cast<uint64_t>(len)) {
+          return Status::ExecError("DecodePage: dictionary blob size mismatch");
+        }
+        for (uint32_t i = 0; i < nt; ++i) {
+          const uint64_t code =
+              cc.bits == 0 ? 0 : hq_unpack_bits(seg, i, cc.bits, mask);
+          if (code >= cc.dict_entries) {
+            return Status::ExecError(
+                "DecodePage: dictionary code out of range (corrupt page)");
+          }
+          std::memcpy(rows + static_cast<uint64_t>(i) * ts + coff,
+                      blob.data() + code * len, len);
+        }
+        break;
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace hique

@@ -1,0 +1,99 @@
+#ifndef HIQUE_STORAGE_COMPRESS_H_
+#define HIQUE_STORAGE_COMPRESS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "storage/page.h"
+#include "storage/schema.h"
+#include "util/status.h"
+
+namespace hique {
+
+struct ColumnStats;
+struct TableStats;
+
+/// Lightweight column compression for table pages (ROADMAP "beyond-memory
+/// scale"): a compressed page keeps the [num_tuples][reserved] header (with
+/// reserved = kCompressedPageMagic) and stores each column as a contiguous
+/// column-major *segment* behind it, in schema order, each segment aligned
+/// to 8 bytes. Every encoding parameter is a table-level constant derived
+/// deterministically from catalogue statistics by ChooseTableCodec, so the
+/// planner can serialize the choice into the plan signature and generated
+/// code can bake the segment arithmetic as compile-time constants — the
+/// compressor here and the emitted decode kernels must agree on the layout
+/// formulas in SegmentBytes below.
+///
+/// Encoding menu (per column):
+///  - kRaw:   width-byte values back to back (doubles, incompressible ints).
+///  - kFOR:   frame-of-reference: value - base (base = stats min) bit-packed
+///            LSB-first at `bits` = bits(max - min). bits == 0 means the
+///            column is a single constant and has no segment at all.
+///  - kDelta: sorted int columns: the page's first value raw as int64,
+///            then value[i] - value[i-1] bit-packed at `bits` =
+///            bits(max adjacent step). Decode is a running prefix sum.
+///  - kDict:  CHAR columns with few distinct values: a table-global sorted
+///            dictionary blob (distinct values, `length` bytes each) and
+///            bit-packed codes (ranks) at `bits` = bits(entries - 1).
+enum class ColEncoding : uint8_t { kRaw = 0, kFOR = 1, kDelta = 2, kDict = 3 };
+
+struct ColumnCodec {
+  ColEncoding enc = ColEncoding::kRaw;
+  uint32_t bits = 0;         // packed width (kFOR/kDelta/kDict); 0 for kRaw
+  int64_t base = 0;          // kFOR reference frame; kFOR bits==0 constant
+  uint64_t dict_entries = 0; // kDict dictionary cardinality
+};
+
+/// The per-table compression descriptor: plan-safe (no data blobs — the
+/// dictionary contents live on the Table and cross into generated code at
+/// run time through HqTableRef::col_dicts).
+struct TableCodec {
+  bool enabled = false;
+  uint32_t tuples_per_cpage = 0;  // tuple capacity of one compressed page
+  std::vector<ColumnCodec> cols;  // one per schema column
+};
+
+/// Maximum packed width: hq_unpack_bits reads an unaligned 8-byte window,
+/// so shift (< 8) + width must fit in 64 bits.
+inline constexpr uint32_t kMaxPackedBits = 56;
+
+/// Dictionary encoding is only considered below this cardinality: the blob
+/// stays cache-resident and codes stay narrow.
+inline constexpr uint64_t kMaxDictEntries = 1u << 16;
+
+/// Bits needed to represent values in [0, v] (0 for v == 0).
+uint32_t BitsForRange(uint64_t v);
+
+/// Bytes of column `c`'s segment in a page holding `nt` tuples, before
+/// 8-byte alignment. Generated decode kernels emit this same formula with
+/// the codec constants inlined.
+uint64_t SegmentBytes(const ColumnCodec& cc, uint32_t width, uint32_t nt);
+
+/// Chooses per-column encodings purely from catalogue statistics (min /
+/// max / distinct / sortedness / max adjacent step) — deterministic, host-
+/// independent, data read only through `stats`. Returns enabled == false
+/// when compression would not raise the page tuple capacity (the honest
+/// "is it worth it" criterion: strictly more tuples per page than NSM).
+TableCodec ChooseTableCodec(const Schema& schema, const TableStats& stats);
+
+/// Encodes `nt` NSM tuples (`nt <= codec.tuples_per_cpage`, consecutive at
+/// schema.TupleSize() stride) into `out`. `dicts[c]` must hold the sorted
+/// dictionary blob for every kDict column (as built by Table::Compress).
+/// Fails if a value falls outside its codec's domain (stale stats).
+Status EncodePage(const TableCodec& codec, const Schema& schema,
+                  const uint8_t* tuples, uint32_t nt,
+                  const std::vector<std::vector<uint8_t>>& dicts, Page* out);
+
+/// Decodes a compressed page back into NSM tuples appended to `out`
+/// (schema.TupleSize() bytes each). Validates the header marker, the tuple
+/// count against the codec capacity, and every dictionary code against
+/// dict_entries, so hostile or corrupt page bytes fail cleanly instead of
+/// reading out of bounds.
+Status DecodePage(const TableCodec& codec, const Schema& schema,
+                  const Page& page,
+                  const std::vector<std::vector<uint8_t>>& dicts,
+                  std::vector<uint8_t>* out);
+
+}  // namespace hique
+
+#endif  // HIQUE_STORAGE_COMPRESS_H_

@@ -13,6 +13,11 @@ inline constexpr uint32_t kPageSize = 4096;
 inline constexpr uint32_t kPageHeaderSize = 8;
 inline constexpr uint32_t kPageDataSize = kPageSize - kPageHeaderSize;
 
+/// `Page::reserved` value marking a compressed columnar page (see
+/// storage/compress.h). Plain NSM pages keep reserved == 0; the engine-side
+/// decoder validates the marker before trusting any segment arithmetic.
+inline constexpr uint32_t kCompressedPageMagic = 0x48435A31;  // "HCZ1"
+
 /// An NSM page: [num_tuples:u32][reserved:u32][tuple0][tuple1]...
 /// Layout is identical on the engine side and inside generated query code
 /// (see codegen/runtime_abi.h) — the two views must never diverge.

@@ -1,5 +1,6 @@
 #include "storage/table.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cstdlib>
 #include <cstring>
@@ -16,20 +17,25 @@ PinnedPages& PinnedPages::operator=(PinnedPages&& other) noexcept {
     pages_ = std::move(other.pages_);
     buffer_manager_ = other.buffer_manager_;
     file_ = other.file_;
+    owns_ = other.owns_;
     other.pages_.clear();
     other.buffer_manager_ = nullptr;
+    other.owns_ = false;
   }
   return *this;
 }
 
 void PinnedPages::Release() {
-  if (buffer_manager_ != nullptr) {
+  if (owns_) {
+    for (Page* p : pages_) std::free(p);
+  } else if (buffer_manager_ != nullptr) {
     for (uint64_t i = 0; i < pages_.size(); ++i) {
       buffer_manager_->Unpin(file_, i, /*dirty=*/false);
     }
   }
   pages_.clear();
   buffer_manager_ = nullptr;
+  owns_ = false;
 }
 
 Table::Table(std::string name, Schema schema)
@@ -52,8 +58,10 @@ Result<std::unique_ptr<Table>> Table::CreateFileBacked(
     const std::string& path) {
   HQ_CHECK(buffer_manager != nullptr);
   HQ_ASSIGN_OR_RETURN(FileId file, buffer_manager->OpenFile(path, true));
-  return std::unique_ptr<Table>(
+  std::unique_ptr<Table> t(
       new Table(std::move(name), std::move(schema), buffer_manager, file));
+  t->file_path_ = path;
+  return t;
 }
 
 Table::~Table() {
@@ -85,6 +93,18 @@ Result<Page*> Table::CurrentWritePage() {
     }
     return owned_pages_.back();
   }
+  if (write_page_ == nullptr && num_pages_ > 0) {
+    // Re-attach to the tail page (a Decompress rewrite dropped the pinned
+    // write page); keep filling it if it is still partial.
+    HQ_ASSIGN_OR_RETURN(Page * tail,
+                        buffer_manager_->FetchPage(file_, num_pages_ - 1));
+    if (tail->num_tuples < tuples_per_page_) {
+      write_page_ = tail;
+      write_page_no_ = num_pages_ - 1;
+      return write_page_;
+    }
+    buffer_manager_->Unpin(file_, num_pages_ - 1, /*dirty=*/false);
+  }
   if (write_page_ == nullptr || write_page_->num_tuples >= tuples_per_page_) {
     if (write_page_ != nullptr) {
       buffer_manager_->Unpin(file_, write_page_no_, /*dirty=*/true);
@@ -99,6 +119,9 @@ Result<Page*> Table::CurrentWritePage() {
 }
 
 Result<uint8_t*> Table::AppendTupleSlot() {
+  // Appending to a compressed table rebuilds NSM first (like dropping an
+  // index on write): the NSM append path below assumes NSM page layout.
+  if (codec_.enabled) HQ_RETURN_IF_ERROR(Decompress());
   HQ_ASSIGN_OR_RETURN(Page * page, CurrentWritePage());
   uint8_t* slot = page->TupleAt(page->num_tuples, schema_.TupleSize());
   ++page->num_tuples;
@@ -111,6 +134,7 @@ Status Table::AdoptPage(Page* page) {
   if (buffer_manager_ != nullptr) {
     return Status::InvalidArgument("AdoptPage requires an in-memory table");
   }
+  if (codec_.enabled) HQ_RETURN_IF_ERROR(Decompress());
   if (page->num_tuples > tuples_per_page_) {
     return Status::InvalidArgument("adopted page overflows tuple capacity");
   }
@@ -145,32 +169,204 @@ Result<PinnedPages> Table::Pin() {
   }
   // Flush the tail write page state: it stays pinned by the table itself;
   // pin counts are per-fetch so double pinning is fine.
-  pinned.buffer_manager_ = buffer_manager_;
-  pinned.file_ = file_;
-  pinned.pages_.reserve(num_pages_);
-  for (uint64_t i = 0; i < num_pages_; ++i) {
-    auto page = buffer_manager_->FetchPage(file_, i);
-    if (!page.ok()) {
-      // Unpin what we already pinned before propagating.
-      for (uint64_t j = 0; j < pinned.pages_.size(); ++j) {
-        buffer_manager_->Unpin(file_, j, false);
+  if (num_pages_ < buffer_manager_->frame_capacity()) {
+    pinned.buffer_manager_ = buffer_manager_;
+    pinned.file_ = file_;
+    pinned.pages_.reserve(num_pages_);
+    bool pool_failed = false;
+    Status fetch_err = Status::OK();
+    for (uint64_t i = 0; i < num_pages_; ++i) {
+      auto page = buffer_manager_->FetchPage(file_, i);
+      if (!page.ok()) {
+        // Unpin what we already pinned, then fall through to bypass mode
+        // (concurrent queries may hold the frames we needed).
+        for (uint64_t j = 0; j < pinned.pages_.size(); ++j) {
+          buffer_manager_->Unpin(file_, j, false);
+        }
+        pinned.pages_.clear();
+        pinned.buffer_manager_ = nullptr;
+        pool_failed = true;
+        fetch_err = page.status();
+        break;
       }
-      pinned.buffer_manager_ = nullptr;
-      return page.status();
+      pinned.pages_.push_back(page.value());
     }
-    pinned.pages_.push_back(page.value());
+    if (!pool_failed) return pinned;
+    (void)fetch_err;  // bypass below surfaces its own error if disk fails too
   }
-  return pinned;
+  // Bypass mode: the table does not fit the pool pinned all at once.
+  // Stream every page into query-local buffers (resident frames are copied,
+  // the rest pread) so beyond-memory scans work at any pool size.
+  PinnedPages byp;
+  byp.owns_ = true;
+  byp.pages_.reserve(num_pages_);
+  for (uint64_t i = 0; i < num_pages_; ++i) {
+    void* mem = nullptr;
+    int rc = posix_memalign(&mem, kPageSize, kPageSize);
+    if (rc != 0 || mem == nullptr) {
+      return Status::ExecError("out of memory in bypass table read");
+    }
+    Page* p = static_cast<Page*>(mem);
+    Status read = buffer_manager_->ReadPageBypass(file_, i, p);
+    if (!read.ok()) {
+      std::free(mem);
+      return read;
+    }
+    byp.pages_.push_back(p);
+  }
+  return byp;
 }
 
 Status Table::ForEachTuple(const std::function<void(const uint8_t*)>& fn) {
   HQ_ASSIGN_OR_RETURN(PinnedPages pinned, Pin());
   const uint32_t tuple_size = schema_.TupleSize();
+  if (!codec_.enabled) {
+    for (const Page* page : pinned.pages()) {
+      for (uint32_t t = 0; t < page->num_tuples; ++t) {
+        fn(page->TupleAt(t, tuple_size));
+      }
+    }
+    return Status::OK();
+  }
+  std::vector<uint8_t> decoded;
   for (const Page* page : pinned.pages()) {
+    decoded.clear();
+    HQ_RETURN_IF_ERROR(DecodePage(codec_, schema_, *page, dicts_, &decoded));
     for (uint32_t t = 0; t < page->num_tuples; ++t) {
-      fn(page->TupleAt(t, tuple_size));
+      fn(decoded.data() + static_cast<size_t>(t) * tuple_size);
     }
   }
+  return Status::OK();
+}
+
+Result<std::vector<uint8_t>> Table::GatherTuples() {
+  std::vector<uint8_t> flat;
+  const uint32_t ts = schema_.TupleSize();
+  flat.reserve(num_tuples_ * ts);
+  HQ_RETURN_IF_ERROR(ForEachTuple(
+      [&](const uint8_t* t) { flat.insert(flat.end(), t, t + ts); }));
+  return flat;
+}
+
+Status Table::RewritePages(const std::vector<uint8_t>& flat,
+                           const TableCodec& codec,
+                           const std::vector<std::vector<uint8_t>>& dicts) {
+  const uint32_t ts = schema_.TupleSize();
+  const uint64_t rows = flat.size() / ts;
+  const uint32_t cap = codec.enabled ? codec.tuples_per_cpage : tuples_per_page_;
+  HQ_CHECK(cap > 0);
+  const uint64_t new_pages = (rows + cap - 1) / cap;
+
+  auto fill = [&](uint64_t page_idx, Page* dst) -> Status {
+    const uint64_t first = page_idx * cap;
+    const uint32_t nt =
+        static_cast<uint32_t>(std::min<uint64_t>(cap, rows - first));
+    const uint8_t* src = flat.data() + first * ts;
+    if (codec.enabled) {
+      return EncodePage(codec, schema_, src, nt, dicts, dst);
+    }
+    dst->Reset();
+    dst->num_tuples = nt;
+    std::memcpy(dst->data, src, static_cast<size_t>(nt) * ts);
+    return Status::OK();
+  };
+
+  if (buffer_manager_ == nullptr) {
+    std::vector<Page*> fresh;
+    fresh.reserve(new_pages);
+    auto free_fresh = [&]() {
+      for (Page* p : fresh) std::free(p);
+    };
+    for (uint64_t i = 0; i < new_pages; ++i) {
+      void* mem = nullptr;
+      int rc = posix_memalign(&mem, kPageSize, kPageSize);
+      if (rc != 0 || mem == nullptr) {
+        free_fresh();
+        return Status::ExecError("out of memory rewriting table pages");
+      }
+      fresh.push_back(static_cast<Page*>(mem));
+      Status s = fill(i, fresh.back());
+      if (!s.ok()) {
+        free_fresh();
+        return s;
+      }
+    }
+    for (Page* p : owned_pages_) std::free(p);
+    owned_pages_ = std::move(fresh);
+    num_pages_ = new_pages;
+    return Status::OK();
+  }
+
+  // File-backed: write a fresh generation file and swap the table onto it.
+  // The old file's cached frames age out of the pool on their own.
+  if (write_page_ != nullptr) {
+    buffer_manager_->Unpin(file_, write_page_no_, /*dirty=*/true);
+    write_page_ = nullptr;
+  }
+  const std::string path =
+      file_path_ + ".g" + std::to_string(++file_generation_);
+  HQ_ASSIGN_OR_RETURN(FileId nf, buffer_manager_->OpenFile(path, true));
+  for (uint64_t i = 0; i < new_pages; ++i) {
+    uint64_t no = 0;
+    HQ_ASSIGN_OR_RETURN(Page * dst, buffer_manager_->NewPage(nf, &no));
+    Status s = fill(i, dst);
+    buffer_manager_->Unpin(nf, no, /*dirty=*/true);
+    HQ_RETURN_IF_ERROR(s);
+  }
+  file_ = nf;
+  num_pages_ = new_pages;
+  return Status::OK();
+}
+
+Status Table::Compress() {
+  if (codec_.enabled) return Status::OK();  // idempotent
+  if (num_tuples_ == 0) return Status::OK();
+  if (!stats_.valid) HQ_RETURN_IF_ERROR(ComputeStats());
+  TableCodec codec = ChooseTableCodec(schema_, stats_);
+  if (!codec.enabled) return Status::OK();
+
+  HQ_ASSIGN_OR_RETURN(std::vector<uint8_t> flat, GatherTuples());
+  const uint32_t ts = schema_.TupleSize();
+
+  // Build sorted dictionary blobs for kDict columns; a cardinality mismatch
+  // means the statistics were stale — refuse rather than mis-encode.
+  std::vector<std::vector<uint8_t>> dicts(schema_.NumColumns());
+  for (size_t c = 0; c < schema_.NumColumns(); ++c) {
+    if (codec.cols[c].enc != ColEncoding::kDict) continue;
+    const uint32_t len = schema_.ColumnAt(c).type.length;
+    const uint32_t off = schema_.OffsetAt(c);
+    std::set<std::string> values;
+    for (uint64_t i = 0; i < num_tuples_; ++i) {
+      values.emplace(
+          reinterpret_cast<const char*>(flat.data() + i * ts + off), len);
+    }
+    if (values.size() != codec.cols[c].dict_entries) {
+      return Status::ExecError("Compress: dictionary cardinality differs "
+                               "from statistics (stale stats)");
+    }
+    std::vector<uint8_t>& blob = dicts[c];
+    blob.reserve(values.size() * len);
+    for (const std::string& v : values) {
+      blob.insert(blob.end(), v.begin(), v.end());
+    }
+  }
+
+  HQ_RETURN_IF_ERROR(RewritePages(flat, codec, dicts));
+  codec_ = std::move(codec);
+  dicts_ = std::move(dicts);
+  // The physical layout compiled plans were generated against changed;
+  // bump the version so plan-cache keys roll over.
+  stats_version_.fetch_add(1, std::memory_order_acq_rel);
+  return Status::OK();
+}
+
+Status Table::Decompress() {
+  if (!codec_.enabled) return Status::OK();
+  HQ_ASSIGN_OR_RETURN(std::vector<uint8_t> flat, GatherTuples());
+  HQ_RETURN_IF_ERROR(RewritePages(flat, TableCodec{}, {}));
+  codec_ = TableCodec{};
+  dicts_.clear();
+  stats_version_.fetch_add(1, std::memory_order_acq_rel);
   return Status::OK();
 }
 
@@ -205,6 +401,11 @@ Status Table::ComputeStats() {
   stats_.rows = num_tuples_;
   stats_.columns.assign(schema_.NumColumns(), ColumnStats{});
   std::vector<DistinctCounter> counters(schema_.NumColumns());
+  // Scan-order sortedness / max adjacent step (delta-encoding inputs).
+  std::vector<int64_t> prev(schema_.NumColumns(), 0);
+  std::vector<int64_t> max_step(schema_.NumColumns(), 0);
+  std::vector<uint8_t> has_prev(schema_.NumColumns(), 0);
+  std::vector<uint8_t> sorted(schema_.NumColumns(), 1);
 
   HQ_RETURN_IF_ERROR(ForEachTuple([&](const uint8_t* tuple) {
     for (size_t c = 0; c < schema_.NumColumns(); ++c) {
@@ -228,6 +429,18 @@ Status Table::ComputeStats() {
           uint64_t bits = 0;
           std::memcpy(&bits, p, col.type.ByteSize());
           counters[c].AddScalar(bits);
+          if (col.type.id != TypeId::kDouble) {
+            const int64_t iv = v.AsInt64();
+            if (has_prev[c] != 0) {
+              if (iv < prev[c]) {
+                sorted[c] = 0;
+              } else {
+                max_step[c] = std::max(max_step[c], iv - prev[c]);
+              }
+            }
+            prev[c] = iv;
+            has_prev[c] = 1;
+          }
           break;
         }
         case TypeId::kChar: {
@@ -257,6 +470,11 @@ Status Table::ComputeStats() {
       cs.distinct = counters[c].Count();
       cs.distinct_exact = true;
     }
+    const TypeId id = schema_.ColumnAt(c).type.id;
+    const bool int_family =
+        id == TypeId::kInt32 || id == TypeId::kInt64 || id == TypeId::kDate;
+    cs.sorted_asc = int_family && has_prev[c] != 0 && sorted[c] != 0;
+    cs.max_step = cs.sorted_asc ? max_step[c] : 0;
   }
   stats_.valid = true;
   return Status::OK();

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "storage/buffer_manager.h"
+#include "storage/compress.h"
 #include "storage/page.h"
 #include "storage/schema.h"
 #include "storage/value.h"
@@ -25,6 +26,11 @@ struct ColumnStats {
   Value max;
   uint64_t distinct = 0;
   bool distinct_exact = false;
+  // Compression inputs (int-family columns only): is the column
+  // non-decreasing in scan order, and if so what is the largest adjacent
+  // step? Drives the delta-encoding choice in ChooseTableCodec.
+  bool sorted_asc = false;
+  int64_t max_step = 0;
   bool valid = false;
 };
 
@@ -53,6 +59,9 @@ class PinnedPages {
   std::vector<Page*> pages_;
   BufferManager* buffer_manager_ = nullptr;  // null for in-memory tables
   FileId file_ = 0;
+  // Bypass mode: the pages are query-local copies (table bigger than the
+  // buffer pool) owned by this object and freed on Release.
+  bool owns_ = false;
 };
 
 /// An NSM table: fixed-length tuples packed into 4096-byte pages. Tables are
@@ -92,11 +101,47 @@ class Table {
   Status AdoptPage(Page* page);
 
   /// Pins every page and returns the pinned page-pointer array, the memory
-  /// image the code generator's TableRef points at.
+  /// image the code generator's TableRef points at. When a file-backed
+  /// table exceeds the buffer pool, falls back to bypass reads: the
+  /// returned pages are query-local copies (PinnedPages frees them), so
+  /// beyond-memory scans stream instead of failing on pool exhaustion.
   Result<PinnedPages> Pin();
 
   /// Invokes `fn(tuple_ptr)` for every tuple (test/oracle convenience).
+  /// Decode-aware: on a compressed table the callback sees decoded NSM
+  /// tuples (padding bytes zeroed).
   Status ForEachTuple(const std::function<void(const uint8_t*)>& fn);
+
+  /// Re-encodes the table into compressed columnar pages using a codec
+  /// chosen from the current statistics (computing them first if stale).
+  /// No-op when compression would not raise the page tuple capacity.
+  /// Idempotent. Bumps the statistics version, because the page layout a
+  /// compiled plan was generated against changes — must not run while
+  /// prepared statements over this table are live (the engine compresses
+  /// at construction, before any statement exists).
+  Status Compress();
+
+  /// Rebuilds plain NSM pages from a compressed table (inverse of
+  /// Compress; same stats-version / live-statement caveats). Appending to
+  /// a compressed table decompresses it automatically, like dropping an
+  /// index on write.
+  Status Decompress();
+
+  /// The active compression codec; codec().enabled == false for plain NSM
+  /// tables. The planner serializes this into plan signatures.
+  const TableCodec& codec() const { return codec_; }
+
+  /// Sorted dictionary blobs for kDict columns (empty vectors elsewhere).
+  const std::vector<std::vector<uint8_t>>& dicts() const { return dicts_; }
+
+  /// Tuple capacity of one page under the active layout (codec capacity
+  /// when compressed, NSM packing otherwise).
+  uint32_t effective_tuples_per_page() const {
+    return codec_.enabled ? codec_.tuples_per_cpage : tuples_per_page_;
+  }
+
+  /// Null for in-memory tables.
+  BufferManager* buffer_manager() const { return buffer_manager_; }
 
   /// Scans the table and recomputes `stats()`. Bumps the statistics
   /// version: the engine embeds the catalog-wide version in compiled-plan
@@ -118,6 +163,15 @@ class Table {
  private:
   Table(std::string name, Schema schema, BufferManager* bm, FileId file);
   Result<Page*> CurrentWritePage();
+  // Gathers every tuple as NSM bytes (decoding if compressed) — the staging
+  // buffer for the Compress/Decompress page rewrites.
+  Result<std::vector<uint8_t>> GatherTuples();
+  // Replaces the table's pages with `pages` built from `flat` under
+  // `codec` (codec.enabled == false → NSM rebuild). File-backed tables
+  // write a fresh generation file; in-memory tables swap owned_pages_.
+  Status RewritePages(const std::vector<uint8_t>& flat,
+                      const TableCodec& codec,
+                      const std::vector<std::vector<uint8_t>>& dicts);
 
   std::string name_;
   Schema schema_;
@@ -133,6 +187,12 @@ class Table {
   FileId file_ = 0;
   Page* write_page_ = nullptr;     // pinned tail page
   uint64_t write_page_no_ = 0;
+  std::string file_path_;          // base path; rewrites append .g<N>
+  uint32_t file_generation_ = 0;
+
+  // Compression state (see storage/compress.h).
+  TableCodec codec_;
+  std::vector<std::vector<uint8_t>> dicts_;
 
   TableStats stats_;
   std::atomic<uint64_t> stats_version_{0};

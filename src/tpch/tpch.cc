@@ -156,6 +156,21 @@ uint64_t Scaled(uint64_t base, double sf) {
   return v == 0 ? 1 : v;
 }
 
+/// Creates a load target: memory-resident by default, file-backed through
+/// TpchOptions::buffer_manager/data_dir for the beyond-memory regime.
+Result<Table*> MakeTable(Catalog* catalog, const TpchOptions& options,
+                         const std::string& name, Schema schema) {
+  if (options.buffer_manager != nullptr && !options.data_dir.empty()) {
+    HQ_ASSIGN_OR_RETURN(
+        auto table,
+        Table::CreateFileBacked(name, std::move(schema),
+                                options.buffer_manager,
+                                options.data_dir + "/" + name + ".hq"));
+    return catalog->AdoptTable(std::move(table));
+  }
+  return catalog->CreateTable(name, std::move(schema));
+}
+
 }  // namespace
 
 uint64_t TableCardinality(const std::string& table, double sf) {
@@ -177,7 +192,7 @@ Status LoadTpch(Catalog* catalog, const TpchOptions& options) {
   // region / nation -------------------------------------------------------
   {
     HQ_ASSIGN_OR_RETURN(Table * region,
-                        catalog->CreateTable("region", RegionSchema()));
+                        MakeTable(catalog, options, "region", RegionSchema()));
     for (int r = 0; r < 5; ++r) {
       HQ_ASSIGN_OR_RETURN(uint8_t * tup, region->AppendTupleSlot());
       std::memset(tup, 0, region->tuple_size());
@@ -187,7 +202,7 @@ Status LoadTpch(Catalog* catalog, const TpchOptions& options) {
       w.Text(2, &rng);
     }
     HQ_ASSIGN_OR_RETURN(Table * nation,
-                        catalog->CreateTable("nation", NationSchema()));
+                        MakeTable(catalog, options, "nation", NationSchema()));
     for (int n = 0; n < 25; ++n) {
       HQ_ASSIGN_OR_RETURN(uint8_t * tup, nation->AppendTupleSlot());
       std::memset(tup, 0, nation->tuple_size());
@@ -202,7 +217,7 @@ Status LoadTpch(Catalog* catalog, const TpchOptions& options) {
   // supplier ---------------------------------------------------------------
   {
     HQ_ASSIGN_OR_RETURN(Table * supplier,
-                        catalog->CreateTable("supplier", SupplierSchema()));
+                        MakeTable(catalog, options, "supplier", SupplierSchema()));
     uint64_t n = TableCardinality("supplier", sf);
     for (uint64_t i = 1; i <= n; ++i) {
       HQ_ASSIGN_OR_RETURN(uint8_t * tup, supplier->AppendTupleSlot());
@@ -222,7 +237,7 @@ Status LoadTpch(Catalog* catalog, const TpchOptions& options) {
   // customer ---------------------------------------------------------------
   {
     HQ_ASSIGN_OR_RETURN(Table * customer,
-                        catalog->CreateTable("customer", CustomerSchema()));
+                        MakeTable(catalog, options, "customer", CustomerSchema()));
     uint64_t n = TableCardinality("customer", sf);
     for (uint64_t i = 1; i <= n; ++i) {
       HQ_ASSIGN_OR_RETURN(uint8_t * tup, customer->AppendTupleSlot());
@@ -244,7 +259,7 @@ Status LoadTpch(Catalog* catalog, const TpchOptions& options) {
   // part / partsupp ---------------------------------------------------------
   {
     HQ_ASSIGN_OR_RETURN(Table * part,
-                        catalog->CreateTable("part", PartSchema()));
+                        MakeTable(catalog, options, "part", PartSchema()));
     uint64_t n = TableCardinality("part", sf);
     for (uint64_t i = 1; i <= n; ++i) {
       HQ_ASSIGN_OR_RETURN(uint8_t * tup, part->AppendTupleSlot());
@@ -261,7 +276,7 @@ Status LoadTpch(Catalog* catalog, const TpchOptions& options) {
       w.Text(8, &rng);
     }
     HQ_ASSIGN_OR_RETURN(Table * partsupp,
-                        catalog->CreateTable("partsupp", PartsuppSchema()));
+                        MakeTable(catalog, options, "partsupp", PartsuppSchema()));
     uint64_t suppliers = TableCardinality("supplier", sf);
     for (uint64_t i = 1; i <= n; ++i) {
       for (int s = 0; s < 4; ++s) {
@@ -281,9 +296,9 @@ Status LoadTpch(Catalog* catalog, const TpchOptions& options) {
   // orders / lineitem -------------------------------------------------------
   {
     HQ_ASSIGN_OR_RETURN(Table * orders,
-                        catalog->CreateTable("orders", OrdersSchema()));
+                        MakeTable(catalog, options, "orders", OrdersSchema()));
     HQ_ASSIGN_OR_RETURN(Table * lineitem,
-                        catalog->CreateTable("lineitem", LineitemSchema()));
+                        MakeTable(catalog, options, "lineitem", LineitemSchema()));
     uint64_t norders = TableCardinality("orders", sf);
     uint64_t ncustomers = TableCardinality("customer", sf);
     uint64_t nparts = TableCardinality("part", sf);

@@ -640,6 +640,12 @@ Result<VariantRun> RunVariant(MicroQuery query, Style style,
                               const MicroParams& params,
                               const std::vector<Table*>& tables,
                               int opt_level, const std::string& work_dir) {
+  // The §VI-A variants are hand-written NSM code: they walk raw page bytes
+  // with no codec awareness. If an HQ_COMPRESS engine compressed a shared
+  // input table, restore the row-major layout they were written against.
+  for (Table* t : tables) {
+    if (t->codec().enabled) HQ_RETURN_IF_ERROR(t->Decompress());
+  }
   std::string source = EmitVariantSource(query, style, params);
   exec::CompileOptions copts;
   copts.opt_level = opt_level;
