@@ -9,6 +9,7 @@
 #include "plan/params.h"
 #include "sql/binder.h"
 #include "sql/parser.h"
+#include "txn/dml.h"
 #include "util/env.h"
 #include "util/macros.h"
 #include "util/timer.h"
@@ -70,6 +71,8 @@ const std::string& PreparedStatement::plan_text() const {
 }
 size_t PreparedStatement::num_placeholders() const {
   HQ_CHECK_MSG(valid(), "accessor on an unprepared statement");
+  // DML statements carry no plan (they reject placeholders at Prepare).
+  if (state_->plan == nullptr) return 0;
   return state_->plan->params.num_placeholders();
 }
 const QueryTimings& PreparedStatement::prepare_timings() const {
@@ -124,6 +127,12 @@ HiqueEngine::~HiqueEngine() {
   // the worker pool and compiled libraries are still alive.
   default_session_.Close();
   {
+    // Stop the compactor before anything else: its worker dereferences the
+    // catalog, which must outlive it.
+    std::lock_guard<std::mutex> lk(compactor_mu_);
+    compactor_.reset();
+  }
+  {
     std::lock_guard<std::mutex> lk(admission_mu_);
     admission_.reset();
   }
@@ -153,6 +162,22 @@ exec::AdmissionController* HiqueEngine::admission() {
 
 void HiqueEngine::PauseAdmission() { admission()->Pause(); }
 void HiqueEngine::ResumeAdmission() { admission()->Resume(); }
+
+txn::Compactor* HiqueEngine::compactor() {
+  std::lock_guard<std::mutex> lk(compactor_mu_);
+  if (compactor_ == nullptr) {
+    compactor_ =
+        std::make_unique<txn::Compactor>(catalog_, options_.compression);
+  }
+  return compactor_.get();
+}
+
+Result<uint64_t> HiqueEngine::ExecuteDml(const std::string& sql) {
+  HQ_ASSIGN_OR_RETURN(std::unique_ptr<sql::DmlStmt> stmt, sql::ParseDml(sql));
+  HQ_ASSIGN_OR_RETURN(uint64_t affected, txn::ExecuteDml(*stmt, catalog_));
+  if (affected > 0) compactor()->NotifyWrite(stmt->table);
+  return affected;
+}
 
 Result<std::shared_ptr<exec::CompiledLibrary>> HiqueEngine::CompilePlan(
     const plan::PhysicalPlan& plan, int opt_level, QueryTimings* timings) {
@@ -374,6 +399,14 @@ HiqueEngine::PrepareState(const std::string& sql,
 
   timer.Restart();
   HQ_ASSIGN_OR_RETURN(auto bound, sql::Bind(*stmt, *catalog_));
+  // Capture the per-table layout versions before the optimizer reads any
+  // codec state: a Compress/Decompress rewrite that lands after this point
+  // produces a version mismatch at pin time (the stale-plan signal) instead
+  // of executing against an encoding the plan was not generated for.
+  state->table_layouts.reserve(bound->tables.size());
+  for (Table* t : bound->tables) {
+    state->table_layouts.push_back(t->layout_version());
+  }
   if (!allow_placeholders && bound->num_placeholders > 0) {
     return Status::BindError(
         "query contains ? placeholders; use Prepare/Execute to bind values");

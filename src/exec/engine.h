@@ -17,6 +17,7 @@
 #include "exec/executor.h"
 #include "plan/optimizer.h"
 #include "storage/catalog.h"
+#include "txn/compactor.h"
 #include "util/status.h"
 
 namespace hique {
@@ -61,6 +62,9 @@ struct QueryResult {
   int library_opt_level = 0;     // -O tier of the library that executed
   CacheStats cache_stats;        // engine cache snapshot after this query
   exec::ExecStats exec_stats;
+  // DML statements (INSERT/UPDATE/DELETE): rows inserted/updated/deleted.
+  // `table` is null for DML — there is no result relation.
+  int64_t rows_affected = 0;
 
   int64_t NumRows() const { return table ? static_cast<int64_t>(table->NumTuples()) : 0; }
 
@@ -300,6 +304,10 @@ class ResultSet {
   int library_opt_level() const;
 
   int64_t rows_read() const;
+  /// Rows inserted/updated/deleted when the cursor wraps a DML statement
+  /// (such a cursor yields no rows: the write completed before it opened).
+  /// Zero for SELECT cursors.
+  int64_t rows_affected() const;
   /// High-water mark of simultaneously resident result pages (buffered +
   /// in-production + held by the reader). Bounded by stream_buffer_pages+2.
   uint32_t peak_result_pages() const;
@@ -516,6 +524,20 @@ class HiqueEngine {
   Result<QueryResult> QueryWithPlanner(const std::string& sql,
                                        const plan::PlannerOptions& planner);
 
+  /// Executes one DML statement (INSERT INTO ... VALUES / UPDATE ... SET /
+  /// DELETE FROM) through the interpreted write path: the row lands in (or
+  /// is masked out of) the target table's delta store, concurrent compiled
+  /// scans keep reading their admission-time snapshots, and the background
+  /// compactor is nudged afterwards. Returns rows affected. Session::Query
+  /// and the streaming/async paths route DML here automatically.
+  Result<uint64_t> ExecuteDml(const std::string& sql);
+
+  /// The background delta compactor (lazily started on first use). Folds
+  /// write-heavy tables' deltas into fresh base pages, re-runs the codec
+  /// chooser when compression is on, and bumps statistics versions so
+  /// cached plans over the old layout invalidate.
+  txn::Compactor* compactor();
+
   /// Convenience: SubmitAsync on the default session.
   QueryHandle SubmitAsync(const std::string& sql);
 
@@ -652,6 +674,11 @@ class HiqueEngine {
   // threads joined — at the top of ~HiqueEngine, before the worker pool).
   std::mutex admission_mu_;
   std::unique_ptr<exec::AdmissionController> admission_;
+
+  // Background delta compactor (lazily created on first DML; stopped and
+  // joined early in ~HiqueEngine, while the catalog is still valid).
+  std::mutex compactor_mu_;
+  std::unique_ptr<txn::Compactor> compactor_;
 
   // The session behind the engine-level Query/Execute conveniences.
   Session default_session_;

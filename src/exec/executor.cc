@@ -26,6 +26,8 @@ static_assert(sizeof(HqPage) == sizeof(Page),
 namespace {
 
 constexpr const char* kMapOverflowMsg = "map aggregation directory overflow";
+constexpr const char* kStalePlanMsg =
+    "plan is stale: table layout changed since preparation";
 constexpr const char* kCancelledMsg = "query cancelled";
 
 /// The streaming result sink behind ctx->result_new_page. The generated
@@ -282,6 +284,10 @@ bool IsMapOverflow(const Status& status) {
   return !status.ok() && status.message() == kMapOverflowMsg;
 }
 
+bool IsStalePlan(const Status& status) {
+  return !status.ok() && status.message() == kStalePlanMsg;
+}
+
 bool IsCancelled(const Status& status) {
   return !status.ok() && status.message() == kCancelledMsg;
 }
@@ -390,7 +396,9 @@ Result<int64_t> ExecuteEntryStreaming(const std::vector<Table*>& tables,
                                       ExecStats* stats,
                                       const ParallelRuntime& par,
                                       const ResultPageFn& on_page,
-                                      const PageAllocFn& alloc_page) {
+                                      const PageAllocFn& alloc_page,
+                                      const std::vector<uint64_t>*
+                                          expected_layouts) {
   // Snapshot buffer-pool counters of every distinct pool involved so the
   // stats block below can report this run's deltas (ExecStats::bp_*).
   std::vector<BufferManager*> pools;
@@ -415,6 +423,13 @@ Result<int64_t> ExecuteEntryStreaming(const std::vector<Table*>& tables,
   std::vector<HqTableRef> refs(tables.size());
   for (size_t t = 0; t < tables.size(); ++t) {
     HQ_ASSIGN_OR_RETURN(pinned[t], tables[t]->Pin());
+    if (expected_layouts != nullptr && t < expected_layouts->size() &&
+        pinned[t].layout_version() != (*expected_layouts)[t]) {
+      // The page encoding moved under the plan (a Compress/Decompress
+      // rewrite raced the lookup). Fail before running any generated code;
+      // the session re-prepares against the current layout and retries.
+      return Status::ExecError(kStalePlanMsg);
+    }
     page_ptrs[t].reserve(pinned[t].pages().size());
     for (Page* p : pinned[t].pages()) {
       page_ptrs[t].push_back(reinterpret_cast<uint8_t*>(p));
@@ -425,7 +440,10 @@ Result<int64_t> ExecuteEntryStreaming(const std::vector<Table*>& tables,
     // Compressed tables pack more tuples per page; the generated code's
     // decode constants were baked from the same codec at plan time.
     refs[t].tuples_per_page = tables[t]->effective_tuples_per_page();
-    refs[t].tuple_count = tables[t]->NumTuples();
+    // The snapshot's count, not the table's current one: with a delta store
+    // attached the two can differ, and generated pre-sizing (hash directory
+    // widths, sort buffers) must match what the pinned pages contain.
+    refs[t].tuple_count = pinned[t].tuple_count();
     refs[t].compressed = tables[t]->codec().enabled ? 1 : 0;
     if (refs[t].compressed != 0) {
       dict_ptrs[t].reserve(tables[t]->dicts().size());

@@ -72,6 +72,13 @@ bool IsMapOverflow(const Status& status);
 /// (ParallelRuntime::cancel flag, closed cursor, QueryHandle::Cancel).
 bool IsCancelled(const Status& status);
 
+/// Returns true when the failure is the stale-plan signal: a table's page
+/// layout changed (compaction / compression rewrite) between plan lookup
+/// and pinning. The session reacts by re-preparing against the new layout
+/// and retrying — safe because staleness is detected before any result
+/// page is delivered.
+bool IsStalePlan(const Status& status);
+
 /// The runtime materialization of a plan's ParamTable: owning storage for
 /// the banks plus the ABI view handed to generated code. The abi pointers
 /// alias the vectors, so a BoundParams must outlive the execution and must
@@ -141,13 +148,22 @@ using PageAllocFn = std::function<Page*()>;
 /// executor, so peak result memory is the pages the consumer holds plus the
 /// single page being filled. Returns the row count. All other Execute*
 /// entry points are wrappers that collect the delivered pages into a Table.
+///
+/// `expected_layouts`, when non-null, carries the per-table physical-layout
+/// versions the plan was prepared against (same order as `tables`); if a
+/// pinned snapshot reports a different version the call fails with the
+/// stale-plan signal (see IsStalePlan) before executing any generated code.
+/// Layout-preserving compactions do not bump the version (generated NSM
+/// scan loops are still valid over the freshly folded pages).
 Result<int64_t> ExecuteEntryStreaming(const std::vector<Table*>& tables,
                                       const Schema& output_schema,
                                       HqEntryFn entry, const HqParams* params,
                                       ExecStats* stats,
                                       const ParallelRuntime& par,
                                       const ResultPageFn& on_page,
-                                      const PageAllocFn& alloc_page = {});
+                                      const PageAllocFn& alloc_page = {},
+                                      const std::vector<uint64_t>*
+                                          expected_layouts = nullptr);
 
 }  // namespace hique::exec
 

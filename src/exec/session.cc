@@ -10,6 +10,7 @@
 #include <utility>
 
 #include "exec/session_internal.h"
+#include "sql/parser.h"
 #include "util/macros.h"
 
 namespace hique {
@@ -228,7 +229,7 @@ Status SessionImpl::Launch(ResultSet::Stream* s) {
         raw->state->plan->query->tables, raw->state->plan->output_schema,
         raw->library->entry(), &raw->bound.abi, &stats, raw->par,
         [&core](Page* page) { return core->Push(page); },
-        [&core]() { return core->AcquirePage(); });
+        [&core]() { return core->AcquirePage(); }, &raw->state->table_layouts);
     if (rows.ok()) {
       core->Finish(Status::OK(), rows.value(), stats);
     } else {
@@ -279,6 +280,32 @@ Status SessionImpl::ReplanHybrid(ResultSet::Stream* s) {
 Status SessionImpl::RestartWithHybrid(ResultSet::Stream* s) {
   HQ_RETURN_IF_ERROR(ReplanHybrid(s));
   return SessionImpl::Launch(s);
+}
+
+/// Stale-plan replan: a compaction / compression rewrite moved a table's
+/// page layout between preparation and pinning. Re-prepare from scratch —
+/// the statistics-version prefix keys the fresh plan to its own cache slot,
+/// so the stale library is never served again for this layout.
+Status SessionImpl::ReplanFresh(ResultSet::Stream* s) {
+  HiqueEngine* engine = s->engine;
+  if (s->is_execute) {
+    auto next = engine->PrepareState(s->state->sql, s->state->planner,
+                                     s->state->cacheable,
+                                     /*force_hybrid_agg=*/false,
+                                     /*allow_placeholders=*/true);
+    if (!next.ok()) return next.status();
+    s->state = std::move(next).value();
+    s->library = s->state->library;
+  } else {
+    auto next = PrepareQueryState(engine, s->sql, s->planner, s->cacheable,
+                                  /*force_hybrid=*/false);
+    if (!next.ok()) return next.status();
+    s->state = std::move(next).value();
+    s->library = s->state->library;
+    s->cache_hit = s->state->cache_hit;
+  }
+  FillStreamMeta(s);
+  return Status::OK();
 }
 
 QueryResult SessionImpl::AssembleResult(ResultSet::Stream* s,
@@ -344,6 +371,21 @@ bool SessionImpl::FinishStream(ResultSet::Stream* s) {
     if (restart.ok()) return true;
     status = restart;
   }
+  if (exec::IsStalePlan(status) && s->stale_restarts < 3 && delivered == 0) {
+    // A compaction or compression rewrite republished a table's pages
+    // between preparation and pinning. Re-prepare against the new layout
+    // and relaunch; bounded so a compaction storm cannot starve the query.
+    ++s->stale_restarts;
+    {
+      std::lock_guard<std::mutex> lk(s->core->mu);
+      s->acc_pages_allocated += s->core->pages_allocated;
+      s->acc_pages_recycled += s->core->pages_recycled;
+    }
+    Status restart = ReplanFresh(s);
+    if (restart.ok()) restart = Launch(s);
+    if (restart.ok()) return true;
+    status = restart;
+  }
   s->stats = stats;
   s->timings.execute_ms = s->exec_timer.ElapsedMillis();
   s->done = true;
@@ -394,6 +436,21 @@ SessionImpl::PrepareFallback(HiqueEngine* engine,
 Result<PreparedStatement> SessionImpl::Prepare(
     HiqueEngine* engine, const std::string& sql,
     const plan::PlannerOptions& planner) {
+  if (sql::IsDmlStatement(sql)) {
+    // Validate now (typed parse/placeholder errors surface at Prepare, as
+    // they do for reads) but execute per-Execute: DML compiles nothing, so
+    // the prepared state is just the validated statement text.
+    auto parsed = sql::ParseDml(sql);
+    if (!parsed.ok()) return parsed.status();
+    auto state = std::make_shared<PreparedStatement::State>();
+    state->sql = sql;
+    state->signature = "dml";
+    state->plan_text = "dml";
+    state->is_dml = true;
+    PreparedStatement prepared;
+    prepared.state_ = std::move(state);
+    return prepared;
+  }
   HQ_ASSIGN_OR_RETURN(
       auto state,
       engine->PrepareState(sql, planner, engine->options().cache_compiled,
@@ -469,6 +526,31 @@ Result<ResultSet> SessionImpl::OpenQueryStream(
     HiqueEngine* engine, const std::shared_ptr<Session::State>& session,
     const std::string& sql, const plan::PlannerOptions& planner,
     bool cacheable, std::atomic<int32_t>* external_cancel) {
+  if (sql::IsDmlStatement(sql)) {
+    // Writes execute before the cursor is handed out; the stream opens
+    // pre-finished (no core, no producer) so every consumer — row loop,
+    // page loop, Materialize, the wire server's pump — sees an immediate
+    // clean end-of-stream with rows_affected set.
+    {
+      std::lock_guard<std::mutex> lk(session->mu);
+      if (session->closed) return SessionClosedError();
+    }
+    WallTimer timer;
+    HQ_ASSIGN_OR_RETURN(uint64_t affected, engine->ExecuteDml(sql));
+    auto dml = std::make_unique<ResultSet::Stream>();
+    dml->engine = engine;
+    dml->session = session;
+    dml->sql = sql;
+    dml->is_dml = true;
+    dml->rows_affected = static_cast<int64_t>(affected);
+    dml->plan_text = "dml";
+    dml->done = true;
+    dml->timings.execute_ms = timer.ElapsedMillis();
+    session->stat_streams_opened.fetch_add(1, std::memory_order_relaxed);
+    ResultSet rs;
+    rs.stream_ = std::move(dml);
+    return rs;
+  }
   HQ_ASSIGN_OR_RETURN(auto stream,
                       BuildQueryStream(engine, session, sql, planner,
                                        cacheable, external_cancel));
@@ -483,6 +565,32 @@ Result<ResultSet> SessionImpl::OpenExecuteStream(
     HiqueEngine* engine, const std::shared_ptr<Session::State>& session,
     const PreparedStatement& stmt, const std::vector<Value>& values,
     std::atomic<int32_t>* external_cancel) {
+  if (stmt.valid() && stmt.state_->is_dml) {
+    if (!values.empty()) {
+      return Status::BindError("DML statements take no parameter values");
+    }
+    {
+      std::lock_guard<std::mutex> lk(session->mu);
+      if (session->closed) return SessionClosedError();
+    }
+    WallTimer timer;
+    HQ_ASSIGN_OR_RETURN(uint64_t affected,
+                        engine->ExecuteDml(stmt.state_->sql));
+    auto dml = std::make_unique<ResultSet::Stream>();
+    dml->engine = engine;
+    dml->session = session;
+    dml->sql = stmt.state_->sql;
+    dml->is_execute = true;
+    dml->is_dml = true;
+    dml->rows_affected = static_cast<int64_t>(affected);
+    dml->plan_text = "dml";
+    dml->done = true;
+    dml->timings.execute_ms = timer.ElapsedMillis();
+    session->stat_streams_opened.fetch_add(1, std::memory_order_relaxed);
+    ResultSet rs;
+    rs.stream_ = std::move(dml);
+    return rs;
+  }
   HQ_ASSIGN_OR_RETURN(auto stream,
                       BuildExecuteStream(engine, session, stmt, values,
                                          external_cancel));
@@ -557,13 +665,20 @@ Result<QueryResult> SessionImpl::DrainInline(ResultSet::Stream* s) {
     exec::ExecStats stats;
     auto rows = exec::ExecuteEntryStreaming(
         s->state->plan->query->tables, s->state->plan->output_schema,
-        s->library->entry(), &s->bound.abi, &stats, s->par, on_page);
+        s->library->entry(), &s->bound.abi, &stats, s->par, on_page,
+        /*alloc_page=*/{}, &s->state->table_layouts);
     if (!adopt.ok()) return adopt;
     if (!rows.ok()) {
       if (exec::IsMapOverflow(rows.status()) && !s->restarted) {
         // Stale statistics: re-plan with hybrid aggregation, retry once.
         s->restarted = true;
         HQ_RETURN_IF_ERROR(ReplanHybrid(s));
+        continue;
+      }
+      if (exec::IsStalePlan(rows.status()) && s->stale_restarts < 3) {
+        // Table layout moved between prepare and pin: re-prepare fresh.
+        ++s->stale_restarts;
+        HQ_RETURN_IF_ERROR(ReplanFresh(s));
         continue;
       }
       return rows.status();
@@ -583,6 +698,22 @@ Result<QueryResult> SessionImpl::BlockingQuery(
     HiqueEngine* engine, const std::shared_ptr<Session::State>& session,
     const std::string& sql, const plan::PlannerOptions& planner,
     bool cacheable, std::atomic<int32_t>* external_cancel) {
+  if (sql::IsDmlStatement(sql)) {
+    // Writes bypass the compiled-query machinery entirely: the statement
+    // executes before any cursor exists, and the result carries only the
+    // affected-row count.
+    {
+      std::lock_guard<std::mutex> lk(session->mu);
+      if (session->closed) return SessionClosedError();
+    }
+    WallTimer timer;
+    HQ_ASSIGN_OR_RETURN(uint64_t affected, engine->ExecuteDml(sql));
+    QueryResult result;
+    result.rows_affected = static_cast<int64_t>(affected);
+    result.plan_text = "dml";
+    result.timings.execute_ms = timer.ElapsedMillis();
+    return result;
+  }
   HQ_ASSIGN_OR_RETURN(auto stream,
                       BuildQueryStream(engine, session, sql, planner,
                                        cacheable, external_cancel));
@@ -593,6 +724,23 @@ Result<QueryResult> SessionImpl::BlockingExecute(
     HiqueEngine* engine, const std::shared_ptr<Session::State>& session,
     const PreparedStatement& stmt, const std::vector<Value>& values,
     std::atomic<int32_t>* external_cancel) {
+  if (stmt.valid() && stmt.state_->is_dml) {
+    if (!values.empty()) {
+      return Status::BindError("DML statements take no parameter values");
+    }
+    {
+      std::lock_guard<std::mutex> lk(session->mu);
+      if (session->closed) return SessionClosedError();
+    }
+    WallTimer timer;
+    HQ_ASSIGN_OR_RETURN(uint64_t affected,
+                        engine->ExecuteDml(stmt.state_->sql));
+    QueryResult result;
+    result.rows_affected = static_cast<int64_t>(affected);
+    result.plan_text = "dml";
+    result.timings.execute_ms = timer.ElapsedMillis();
+    return result;
+  }
   HQ_ASSIGN_OR_RETURN(auto stream,
                       BuildExecuteStream(engine, session, stmt, values,
                                          external_cancel));
@@ -818,6 +966,16 @@ void ResultSet::Close() {
 Result<QueryResult> ResultSet::Materialize() {
   if (!valid()) return Status::InvalidArgument("invalid ResultSet");
   Stream* s = stream_.get();
+  if (s->is_dml) {
+    // No result table exists (or could: the schema is empty), so iterating
+    // first loses nothing — always surface the affected-row count the
+    // pre-finished stream carries.
+    QueryResult result;
+    result.rows_affected = s->rows_affected;
+    result.plan_text = s->plan_text;
+    result.timings = s->timings;
+    return result;
+  }
   if (s->iterating) {
     return Status::InvalidArgument(
         "Materialize requires an unconsumed cursor (rows were already read "
@@ -860,6 +1018,9 @@ int ResultSet::library_opt_level() const {
 }
 int64_t ResultSet::rows_read() const {
   return valid() ? stream_->rows_read : 0;
+}
+int64_t ResultSet::rows_affected() const {
+  return valid() ? stream_->rows_affected : 0;
 }
 uint32_t ResultSet::peak_result_pages() const {
   if (!valid()) return 0;

@@ -37,6 +37,17 @@ struct PreparedStatement::State {
   // with the same settings.
   plan::PlannerOptions planner;
   bool cacheable = false;
+  // Prepared DML: no plan/library — Execute routes `sql` to the DML
+  // executor and returns rows-affected through the result.
+  bool is_dml = false;
+  // Per-table physical-layout versions captured right after binding (same
+  // order as plan->query->tables). The executor validates the pinned
+  // snapshots against these: a Compress/Decompress rewrite that lands
+  // between preparation and pinning fails the execution with the stale-plan
+  // signal instead of running generated code against the wrong page
+  // encoding. Layout-preserving compactions do not bump the version, so a
+  // compaction storm never starves in-flight queries.
+  std::vector<uint64_t> table_layouts;
 
   mutable std::mutex fallback_mu;
   mutable std::shared_ptr<const State> fallback;
@@ -216,6 +227,16 @@ struct ResultSet::Stream {
   std::string failed_signature;
   plan::ParamTable failed_params;
 
+  // Stale-plan restarts (table layout moved between prepare and pin):
+  // bounded so a compaction storm cannot loop a query forever.
+  uint32_t stale_restarts = 0;
+
+  // DML statements short-circuit the stream machinery: the write executed
+  // before the cursor was handed out, rows_affected carries the count, and
+  // the stream opens pre-finished (done == true, no core, no producer).
+  bool is_dml = false;
+  int64_t rows_affected = 0;
+
   ~Stream();
 };
 
@@ -323,6 +344,11 @@ struct SessionImpl {
 
   /// Map-overflow restart for the cursor path: ReplanHybrid + Launch.
   static Status RestartWithHybrid(ResultSet::Stream* stream);
+
+  /// Stale-plan replan: re-prepare the stream's statement from scratch
+  /// against the current table layouts (the statistics-version prefix keys
+  /// it to a fresh cache slot). Does not start execution.
+  static Status ReplanFresh(ResultSet::Stream* stream);
 
   /// Shared QueryResult assembly from a finished stream.
   static QueryResult AssembleResult(ResultSet::Stream* stream,

@@ -80,12 +80,16 @@ bool RemoteResultSet::FetchPage() {
         uint64_t pages_touched, tuples_emitted;
         uint32_t threads;
         uint8_t cache_hit;
+        uint64_t affected = 0;
         Status parsed = r.U64(&total_rows_);
         if (parsed.ok()) parsed = r.F64(&server_execute_ms_);
         if (parsed.ok()) parsed = r.U64(&pages_touched);
         if (parsed.ok()) parsed = r.U64(&tuples_emitted);
         if (parsed.ok()) parsed = r.U32(&threads);
         if (parsed.ok()) parsed = r.U8(&cache_hit);
+        // v4 extension: absent from v3 servers' frames, defaults to 0.
+        if (parsed.ok() && r.remaining() > 0) parsed = r.U64(&affected);
+        if (parsed.ok()) rows_affected_ = static_cast<int64_t>(affected);
         end_status_ = parsed;
         done_ = true;
         return false;

@@ -81,6 +81,12 @@ class RemoteResultSet {
   uint64_t total_rows() const { return total_rows_; }
   double server_execute_ms() const { return server_execute_ms_; }
 
+  /// Rows a DML statement inserted/updated/deleted (protocol v4); zero for
+  /// reads. Valid after the stream ended cleanly — a DML cursor produces
+  /// no row pages, so Next() returning false immediately is the normal
+  /// read-your-writes handshake.
+  int64_t rows_affected() const { return rows_affected_; }
+
   /// Early close: sends Cancel and drains the stream to its terminal
   /// frame, leaving the connection ready for the next statement.
   /// Idempotent; the destructor calls it.
@@ -107,6 +113,7 @@ class RemoteResultSet {
   int64_t rows_read_ = 0;
   uint64_t total_rows_ = 0;
   double server_execute_ms_ = 0;
+  int64_t rows_affected_ = 0;
 };
 
 /// Blocking client for the hiqued wire protocol: one TCP connection = one

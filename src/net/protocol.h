@@ -24,7 +24,7 @@ namespace hique::net {
 /// terminal ResultDone or Error frame. Cancel and Close may be sent at any
 /// point, including mid-stream.
 inline constexpr uint32_t kMagic = 0x48515750;  // "HQWP"
-inline constexpr uint16_t kProtocolVersion = 3;  // v3: CloseAck carries buffer-pool hit/miss/eviction counters
+inline constexpr uint16_t kProtocolVersion = 4;  // v4: ResultDone carries rows_affected (DML over the wire)
 inline constexpr uint8_t kLittleEndian = 1;
 
 /// Upper bound on one frame's payload. Row pages are ~4 KiB, SQL text and

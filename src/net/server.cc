@@ -408,6 +408,7 @@ void Server::PumpStream(Connection* conn) {
       w.U64(conn->cursor.exec_stats().tuples_emitted);
       w.U32(conn->cursor.exec_stats().threads);
       w.U8(conn->cursor.cache_hit() ? 1 : 0);
+      w.U64(static_cast<uint64_t>(conn->cursor.rows_affected()));
       SendFrame(conn, static_cast<uint8_t>(MsgType::kResultDone), w.buffer());
       std::lock_guard<std::mutex> lk(stats_mu_);
       ++stats_.queries_finished;

@@ -171,7 +171,7 @@ class Planner {
 
   double FilterSelectivity(const Filter& f) const {
     const Table* table = q_->tables[f.column.table];
-    const TableStats& stats = table->stats();
+    const TableStats stats = table->stats();  // one snapshot; see Table::stats()
     if (!stats.valid || f.rhs_is_column) return 0.3;
     const ColumnStats& cs = stats.columns[f.column.column];
     if (!cs.valid || stats.rows == 0) return 0.3;
@@ -202,8 +202,9 @@ class Planner {
 
   uint64_t EstimateFilteredRows(int table_idx) const {
     const Table* table = q_->tables[table_idx];
-    double rows = static_cast<double>(
-        table->stats().valid ? table->stats().rows : table->NumTuples());
+    const TableStats stats = table->stats();
+    double rows =
+        static_cast<double>(stats.valid ? stats.rows : table->NumTuples());
     for (const auto& f : q_->filters) {
       if (f.column.table == table_idx) rows *= FilterSelectivity(f);
     }
@@ -213,8 +214,9 @@ class Planner {
   uint64_t ColumnDistinct(ColRef c, uint64_t cap) const {
     const Table* table = q_->tables[c.table];
     uint64_t d = 1;
-    if (table->stats().valid && table->stats().columns[c.column].valid) {
-      d = std::max<uint64_t>(1, table->stats().columns[c.column].distinct);
+    const TableStats stats = table->stats();
+    if (stats.valid && stats.columns[c.column].valid) {
+      d = std::max<uint64_t>(1, stats.columns[c.column].distinct);
     } else {
       d = std::max<uint64_t>(1, table->NumTuples());
     }
@@ -632,8 +634,9 @@ class Planner {
       ColRef lkey, ColRef rkey) const {
     auto range = [&](ColRef c) -> std::optional<std::pair<int64_t, int64_t>> {
       const Table* t = q_->tables[c.table];
-      if (!t->stats().valid) return std::nullopt;
-      const ColumnStats& cs = t->stats().columns[c.column];
+      const TableStats stats = t->stats();
+      if (!stats.valid) return std::nullopt;
+      const ColumnStats& cs = stats.columns[c.column];
       if (!cs.valid || !IsIntFamily(cs.min.type_id())) return std::nullopt;
       return std::make_pair(cs.min.AsInt64(), cs.max.AsInt64());
     };
@@ -800,8 +803,9 @@ class Planner {
 
   std::optional<std::pair<int64_t, int64_t>> FineAggDomain(ColRef key) const {
     const Table* t = q_->tables[key.table];
-    if (!t->stats().valid) return std::nullopt;
-    const ColumnStats& cs = t->stats().columns[key.column];
+    const TableStats stats = t->stats();
+    if (!stats.valid) return std::nullopt;
+    const ColumnStats& cs = stats.columns[key.column];
     if (!cs.valid || !IsIntFamily(cs.min.type_id())) return std::nullopt;
     int64_t width = cs.max.AsInt64() - cs.min.AsInt64() + 1;
     if (width <= 0 || width > opts_.fine_partition_max_domain) {
@@ -826,8 +830,9 @@ class Planner {
       const Table* t = q_->tables[g.table];
       const Column& col = t->schema().ColumnAt(g.column);
       if (col.type.id == TypeId::kChar && col.type.length > 8) return false;
-      if (!t->stats().valid) return false;
-      const ColumnStats& cs = t->stats().columns[g.column];
+      const TableStats stats = t->stats();
+      if (!stats.valid) return false;
+      const ColumnStats& cs = stats.columns[g.column];
       if (!cs.valid || !cs.distinct_exact) return false;
       uint64_t cap = std::max<uint64_t>(1, cs.distinct);
       bool is_dense = false;

@@ -131,6 +131,28 @@ struct SelectStmt {
   int num_placeholders = 0;  // `?` count, in lexical order
 };
 
+/// DML statements (executed by the non-codegen executor in src/txn — single
+/// table, no joins, so compiling them would never amortize):
+///   INSERT INTO <table> VALUES (<literal>, ...)[, (<literal>, ...)]*
+///   UPDATE <table> SET col = <expr>[, col = <expr>]* [WHERE <conj>]
+///   DELETE FROM <table> [WHERE <conj>]
+/// UPDATE value expressions may reference the row's own columns
+/// (SET v = v + 1); INSERT values are literals (unary minus allowed).
+enum class DmlKind { kInsert, kUpdate, kDelete };
+
+struct SetClause {
+  std::string column;
+  ExprPtr value;
+};
+
+struct DmlStmt {
+  DmlKind kind = DmlKind::kInsert;
+  std::string table;
+  std::vector<std::vector<ExprPtr>> rows;  // INSERT: one vector per row
+  std::vector<SetClause> sets;             // UPDATE
+  ExprPtr where;                           // UPDATE / DELETE, may be null
+};
+
 }  // namespace hique::sql
 
 #endif  // HIQUE_SQL_AST_H_

@@ -10,7 +10,8 @@ const std::unordered_set<std::string>& Keywords() {
   static const auto* kw = new std::unordered_set<std::string>{
       "SELECT", "FROM", "WHERE", "GROUP",  "BY",  "ORDER", "ASC",
       "DESC",   "LIMIT", "AS",   "AND",    "SUM", "COUNT", "AVG",
-      "MIN",    "MAX",   "DATE",
+      "MIN",    "MAX",   "DATE",  "INSERT", "INTO", "VALUES",
+      "UPDATE", "SET",   "DELETE",
   };
   return *kw;
 }

@@ -28,7 +28,8 @@ struct Token {
 };
 
 /// Tokenizes a SQL string. Keywords recognised: SELECT FROM WHERE GROUP BY
-/// ORDER ASC DESC LIMIT AS AND SUM COUNT AVG MIN MAX DATE. Symbols:
+/// ORDER ASC DESC LIMIT AS AND SUM COUNT AVG MIN MAX DATE INSERT INTO
+/// VALUES UPDATE SET DELETE. Symbols:
 /// , ( ) * + - / = <> != < <= > >= . ; ? (positional placeholder)
 Result<std::vector<Token>> Tokenize(const std::string& input);
 

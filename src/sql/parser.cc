@@ -1,5 +1,7 @@
 #include "sql/parser.h"
 
+#include <cctype>
+
 #include "sql/lexer.h"
 #include "storage/types.h"
 
@@ -88,6 +90,66 @@ class Parser {
                                 "'");
     }
     stmt->num_placeholders = num_placeholders_;
+    return stmt;
+  }
+
+  Result<std::unique_ptr<DmlStmt>> ParseDmlStatement() {
+    auto stmt = std::make_unique<DmlStmt>();
+    if (MatchKeyword("INSERT")) {
+      stmt->kind = DmlKind::kInsert;
+      HQ_RETURN_IF_ERROR(ExpectKeyword("INTO"));
+      HQ_ASSIGN_OR_RETURN(stmt->table, ExpectIdent());
+      HQ_RETURN_IF_ERROR(ExpectKeyword("VALUES"));
+      do {
+        if (!MatchSymbol("(")) {
+          return Status::ParseError("expected '(' after VALUES");
+        }
+        std::vector<ExprPtr> row;
+        do {
+          HQ_ASSIGN_OR_RETURN(ExprPtr v, ParseAdditive());
+          row.push_back(std::move(v));
+        } while (MatchSymbol(","));
+        if (!MatchSymbol(")")) {
+          return Status::ParseError("expected ')' closing a VALUES row");
+        }
+        stmt->rows.push_back(std::move(row));
+      } while (MatchSymbol(","));
+    } else if (MatchKeyword("UPDATE")) {
+      stmt->kind = DmlKind::kUpdate;
+      HQ_ASSIGN_OR_RETURN(stmt->table, ExpectIdent());
+      HQ_RETURN_IF_ERROR(ExpectKeyword("SET"));
+      do {
+        SetClause set;
+        HQ_ASSIGN_OR_RETURN(set.column, ExpectIdent());
+        if (!MatchSymbol("=")) {
+          return Status::ParseError("expected '=' in SET clause");
+        }
+        HQ_ASSIGN_OR_RETURN(set.value, ParseAdditive());
+        stmt->sets.push_back(std::move(set));
+      } while (MatchSymbol(","));
+      if (MatchKeyword("WHERE")) {
+        HQ_ASSIGN_OR_RETURN(stmt->where, ParseConjunction());
+      }
+    } else if (MatchKeyword("DELETE")) {
+      stmt->kind = DmlKind::kDelete;
+      HQ_RETURN_IF_ERROR(ExpectKeyword("FROM"));
+      HQ_ASSIGN_OR_RETURN(stmt->table, ExpectIdent());
+      if (MatchKeyword("WHERE")) {
+        HQ_ASSIGN_OR_RETURN(stmt->where, ParseConjunction());
+      }
+    } else {
+      return Status::ParseError("expected INSERT, UPDATE or DELETE near '" +
+                                Peek().text + "'");
+    }
+    MatchSymbol(";");
+    if (Peek().type != TokenType::kEnd) {
+      return Status::ParseError("unexpected trailing input: '" + Peek().text +
+                                "'");
+    }
+    if (num_placeholders_ != 0) {
+      return Status::ParseError(
+          "placeholders are not supported in DML statements");
+    }
     return stmt;
   }
 
@@ -272,6 +334,20 @@ class Parser {
           }
           return inner;
         }
+        if (tok.text == "-") {
+          // Unary minus: fold into numeric literals, otherwise 0 - expr.
+          Advance();
+          HQ_ASSIGN_OR_RETURN(ExprPtr inner, ParsePrimary());
+          if (inner->kind == ExprKind::kIntLit) {
+            inner->int_value = -inner->int_value;
+            return inner;
+          }
+          if (inner->kind == ExprKind::kFloatLit) {
+            inner->float_value = -inner->float_value;
+            return inner;
+          }
+          return Expr::Binary(BinaryOp::kSub, Expr::Int(0), std::move(inner));
+        }
         return Status::ParseError("unexpected symbol '" + tok.text + "'");
       }
       case TokenType::kEnd:
@@ -300,6 +376,28 @@ Result<std::unique_ptr<SelectStmt>> Parse(const std::string& sql) {
   HQ_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(sql));
   Parser parser(std::move(tokens));
   return parser.ParseSelect();
+}
+
+bool IsDmlStatement(const std::string& sql) {
+  size_t i = 0;
+  while (i < sql.size() &&
+         std::isspace(static_cast<unsigned char>(sql[i]))) {
+    ++i;
+  }
+  size_t j = i;
+  while (j < sql.size() &&
+         std::isalpha(static_cast<unsigned char>(sql[j]))) {
+    ++j;
+  }
+  std::string word = sql.substr(i, j - i);
+  for (char& c : word) c = static_cast<char>(std::toupper(c));
+  return word == "INSERT" || word == "UPDATE" || word == "DELETE";
+}
+
+Result<std::unique_ptr<DmlStmt>> ParseDml(const std::string& sql) {
+  HQ_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(sql));
+  Parser parser(std::move(tokens));
+  return parser.ParseDmlStatement();
 }
 
 }  // namespace hique::sql

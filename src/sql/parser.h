@@ -12,6 +12,14 @@ namespace hique::sql {
 /// Parses one SELECT statement. See ast.h for the supported grammar.
 Result<std::unique_ptr<SelectStmt>> Parse(const std::string& sql);
 
+/// Cheap routing check: does `sql` start with INSERT / UPDATE / DELETE?
+/// (Lexical only — the statement may still fail to parse.)
+bool IsDmlStatement(const std::string& sql);
+
+/// Parses one DML statement (INSERT / UPDATE / DELETE; see ast.h).
+/// Placeholders (`?`) are rejected — DML is not a prepared-statement path.
+Result<std::unique_ptr<DmlStmt>> ParseDml(const std::string& sql);
+
 }  // namespace hique::sql
 
 #endif  // HIQUE_SQL_PARSER_H_

@@ -18,9 +18,15 @@ PinnedPages& PinnedPages::operator=(PinnedPages&& other) noexcept {
     buffer_manager_ = other.buffer_manager_;
     file_ = other.file_;
     owns_ = other.owns_;
+    tuple_count_ = other.tuple_count_;
+    stats_version_ = other.stats_version_;
+    layout_version_ = other.layout_version_;
+    hold_ = std::move(other.hold_);
     other.pages_.clear();
+    other.hold_.clear();
     other.buffer_manager_ = nullptr;
     other.owns_ = false;
+    other.tuple_count_ = 0;
   }
   return *this;
 }
@@ -34,8 +40,10 @@ void PinnedPages::Release() {
     }
   }
   pages_.clear();
+  hold_.clear();
   buffer_manager_ = nullptr;
   owns_ = false;
+  tuple_count_ = 0;
 }
 
 Table::Table(std::string name, Schema schema)
@@ -69,15 +77,15 @@ Table::~Table() {
     if (write_page_ != nullptr) {
       buffer_manager_->Unpin(file_, write_page_no_, /*dirty=*/true);
     }
-  } else {
-    for (Page* p : owned_pages_) std::free(p);
   }
+  // In-memory pages are freed by the last PageGen reference (a draining
+  // snapshot may outlive the table's own pointer).
 }
 
 Result<Page*> Table::CurrentWritePage() {
   if (buffer_manager_ == nullptr) {
-    if (owned_pages_.empty() ||
-        owned_pages_.back()->num_tuples >= tuples_per_page_) {
+    if (gen_->pages.empty() ||
+        gen_->pages.back()->num_tuples >= tuples_per_page_) {
       void* mem = nullptr;
       int rc = posix_memalign(&mem, kPageSize, kPageSize);
       if (rc != 0 || mem == nullptr) {
@@ -88,10 +96,11 @@ Result<Page*> Table::CurrentWritePage() {
       // kPageSize (>= 64) alignment keeps every aligned vector load legal.
       assert((reinterpret_cast<uintptr_t>(p) & 63u) == 0);
       p->Reset();
-      owned_pages_.push_back(p);
+      std::lock_guard<std::mutex> lk(state_mu_);
+      gen_->pages.push_back(p);
       ++num_pages_;
     }
-    return owned_pages_.back();
+    return gen_->pages.back();
   }
   if (write_page_ == nullptr && num_pages_ > 0) {
     // Re-attach to the tail page (a Decompress rewrite dropped the pinned
@@ -119,13 +128,20 @@ Result<Page*> Table::CurrentWritePage() {
 }
 
 Result<uint8_t*> Table::AppendTupleSlot() {
+  if (delta_ != nullptr) {
+    // A raw slot pointer cannot be published safely against concurrent
+    // snapshots; the bulk-load fast path is load-time only.
+    return Status::InvalidArgument(
+        "AppendTupleSlot on write-enabled table " + name_ +
+        " (use AppendRow, which routes through the delta store)");
+  }
   // Appending to a compressed table rebuilds NSM first (like dropping an
   // index on write): the NSM append path below assumes NSM page layout.
   if (codec_.enabled) HQ_RETURN_IF_ERROR(Decompress());
   HQ_ASSIGN_OR_RETURN(Page * page, CurrentWritePage());
   uint8_t* slot = page->TupleAt(page->num_tuples, schema_.TupleSize());
   ++page->num_tuples;
-  ++num_tuples_;
+  num_tuples_.fetch_add(1, std::memory_order_acq_rel);
   stats_.valid = false;
   return slot;
 }
@@ -134,13 +150,20 @@ Status Table::AdoptPage(Page* page) {
   if (buffer_manager_ != nullptr) {
     return Status::InvalidArgument("AdoptPage requires an in-memory table");
   }
+  if (delta_ != nullptr) {
+    return Status::InvalidArgument("AdoptPage on write-enabled table " +
+                                   name_);
+  }
   if (codec_.enabled) HQ_RETURN_IF_ERROR(Decompress());
   if (page->num_tuples > tuples_per_page_) {
     return Status::InvalidArgument("adopted page overflows tuple capacity");
   }
-  owned_pages_.push_back(page);
-  ++num_pages_;
-  num_tuples_ += page->num_tuples;
+  {
+    std::lock_guard<std::mutex> lk(state_mu_);
+    gen_->pages.push_back(page);
+    ++num_pages_;
+  }
+  num_tuples_.fetch_add(page->num_tuples, std::memory_order_acq_rel);
   stats_.valid = false;
   return Status::OK();
 }
@@ -148,6 +171,23 @@ Status Table::AdoptPage(Page* page) {
 Status Table::AppendRow(const std::vector<Value>& values) {
   if (values.size() != schema_.NumColumns()) {
     return Status::InvalidArgument("row arity mismatch for " + name_);
+  }
+  if (delta_ != nullptr) {
+    // Serving mode: serialize into a scratch tuple and hand it to the delta
+    // store — safe against concurrent compiled scans and other appenders.
+    std::vector<uint8_t> tuple(schema_.TupleSize(), 0);
+    for (size_t i = 0; i < values.size(); ++i) {
+      if (values[i].type_id() != schema_.ColumnAt(i).type.id) {
+        return Status::InvalidArgument("type mismatch in column " +
+                                       schema_.ColumnAt(i).name);
+      }
+      schema_.SetValue(tuple.data(), i, values[i]);
+    }
+    delta_->Insert(tuple.data());
+    num_tuples_.fetch_add(1, std::memory_order_acq_rel);
+    // Statistics stay as-of-last-compaction by design (concurrent planners
+    // read them); the compactor refreshes them when it folds the delta.
+    return Status::OK();
   }
   HQ_ASSIGN_OR_RETURN(uint8_t * slot, AppendTupleSlot());
   std::memset(slot, 0, schema_.TupleSize());
@@ -164,9 +204,23 @@ Status Table::AppendRow(const std::vector<Value>& values) {
 Result<PinnedPages> Table::Pin() {
   PinnedPages pinned;
   if (buffer_manager_ == nullptr) {
-    pinned.pages_ = owned_pages_;
+    std::lock_guard<std::mutex> lk(state_mu_);
+    if (delta_ != nullptr) {
+      pinned.pages_.reserve(gen_->pages.size() + delta_->delta_pages());
+      pinned.tuple_count_ =
+          delta_->SnapshotMerged(gen_->pages, &pinned.pages_, &pinned.hold_);
+    } else {
+      pinned.pages_ = gen_->pages;
+      pinned.tuple_count_ = num_tuples_.load(std::memory_order_acquire);
+    }
+    pinned.hold_.push_back(gen_);
+    pinned.stats_version_ = stats_version_.load(std::memory_order_acquire);
+    pinned.layout_version_ = layout_version_.load(std::memory_order_acquire);
     return pinned;
   }
+  pinned.tuple_count_ = num_tuples_.load(std::memory_order_acquire);
+  pinned.stats_version_ = stats_version_.load(std::memory_order_acquire);
+  pinned.layout_version_ = layout_version_.load(std::memory_order_acquire);
   // Flush the tail write page state: it stays pinned by the table itself;
   // pin counts are per-fetch so double pinning is fine.
   if (num_pages_ < buffer_manager_->frame_capacity()) {
@@ -199,6 +253,9 @@ Result<PinnedPages> Table::Pin() {
   // the rest pread) so beyond-memory scans work at any pool size.
   PinnedPages byp;
   byp.owns_ = true;
+  byp.tuple_count_ = pinned.tuple_count_;
+  byp.stats_version_ = pinned.stats_version_;
+  byp.layout_version_ = pinned.layout_version_;
   byp.pages_.reserve(num_pages_);
   for (uint64_t i = 0; i < num_pages_; ++i) {
     void* mem = nullptr;
@@ -239,13 +296,135 @@ Status Table::ForEachTuple(const std::function<void(const uint8_t*)>& fn) {
   return Status::OK();
 }
 
+// ---- Write path (src/txn) ---------------------------------------------------
+
+Status Table::EnableWrites() {
+  if (buffer_manager_ != nullptr) {
+    return Status::NotImplemented("DML requires a memory-resident table (" +
+                                  name_ + " is file-backed)");
+  }
+  if (read_only_.load(std::memory_order_acquire)) {
+    return Status::InvalidArgument("table " + name_ + " is read-only");
+  }
+  if (delta_ != nullptr) return Status::OK();
+  // A compressed base cannot interleave with NSM delta pages: rebuild NSM
+  // first (in-flight snapshots keep the compressed generation alive and the
+  // stats-version bump rolls compiled plans over).
+  if (codec_.enabled) HQ_RETURN_IF_ERROR(Decompress());
+  auto delta =
+      std::make_unique<txn::DeltaStore>(schema_.TupleSize(), tuples_per_page_);
+  std::lock_guard<std::mutex> lk(state_mu_);
+  delta_ = std::move(delta);
+  return Status::OK();
+}
+
+Status Table::ForEachLiveRow(
+    const std::function<void(uint64_t, const uint8_t*)>& fn) {
+  if (codec_.enabled) {
+    return Status::InvalidArgument("ForEachLiveRow on compressed table " +
+                                   name_);
+  }
+  if (buffer_manager_ != nullptr) {
+    return Status::NotImplemented("ForEachLiveRow requires a memory-resident "
+                                  "table");
+  }
+  const uint32_t ts = schema_.TupleSize();
+  std::shared_ptr<const txn::DeleteSet> ds =
+      delta_ != nullptr ? delta_->delete_set() : nullptr;
+  for (uint64_t pi = 0; pi < gen_->pages.size(); ++pi) {
+    const Page* page = gen_->pages[pi];
+    const uint64_t first = pi * tuples_per_page_;
+    for (uint32_t t = 0; t < page->num_tuples; ++t) {
+      const uint64_t id = first + t;
+      if (ds != nullptr && ds->BaseDeleted(id)) continue;
+      fn(id, page->TupleAt(t, ts));
+    }
+  }
+  if (delta_ != nullptr) delta_->ForEachLiveInsert(fn);
+  return Status::OK();
+}
+
+Result<uint64_t> Table::DeleteRows(const std::vector<uint64_t>& row_ids) {
+  if (delta_ == nullptr) {
+    return Status::InvalidArgument("writes not enabled on table " + name_);
+  }
+  const uint64_t n = delta_->Delete(row_ids);
+  num_tuples_.fetch_sub(n, std::memory_order_acq_rel);
+  // Statistics stay as-of-last-compaction by design (concurrent planners
+  // read them); the compactor refreshes them when it folds the delta.
+  return n;
+}
+
+Status Table::Compact(bool recompress) {
+  std::lock_guard<std::mutex> wl(writer_mu_);
+  if (buffer_manager_ != nullptr || delta_ == nullptr) return Status::OK();
+  if (delta_->inserts() == 0 && delta_->deleted_base() == 0) {
+    return Status::OK();
+  }
+  // Gather the merged live state (snapshot-consistent; DML is excluded by
+  // the writer mutex), rebuild fresh NSM base pages, and publish pages +
+  // empty delta + stats-version bump as one atomic generation swap.
+  HQ_ASSIGN_OR_RETURN(std::vector<uint8_t> flat, GatherTuples());
+  const uint32_t ts = schema_.TupleSize();
+  const uint64_t rows = flat.size() / ts;
+  auto fresh = std::make_shared<PageGen>();
+  HQ_ASSIGN_OR_RETURN(fresh->pages,
+                      BuildNsmPages(flat, ts, tuples_per_page_));
+  auto delta =
+      std::make_unique<txn::DeltaStore>(schema_.TupleSize(), tuples_per_page_);
+  {
+    std::lock_guard<std::mutex> lk(state_mu_);
+    gen_ = std::move(fresh);
+    num_pages_ = gen_->pages.size();
+    num_tuples_.store(rows, std::memory_order_release);
+    delta_ = std::move(delta);
+    stats_version_.fetch_add(1, std::memory_order_acq_rel);
+  }
+  // Fresh statistics for the folded state feed the planner and, when asked,
+  // the codec choice below.
+  HQ_RETURN_IF_ERROR(ComputeStats());
+  if (recompress) HQ_RETURN_IF_ERROR(Compress());
+  return Status::OK();
+}
+
+// -----------------------------------------------------------------------------
+
 Result<std::vector<uint8_t>> Table::GatherTuples() {
   std::vector<uint8_t> flat;
   const uint32_t ts = schema_.TupleSize();
-  flat.reserve(num_tuples_ * ts);
+  flat.reserve(NumTuples() * ts);
   HQ_RETURN_IF_ERROR(ForEachTuple(
       [&](const uint8_t* t) { flat.insert(flat.end(), t, t + ts); }));
   return flat;
+}
+
+Result<std::vector<Page*>> Table::BuildNsmPages(
+    const std::vector<uint8_t>& flat, uint32_t tuple_size, uint32_t cap) {
+  const uint64_t rows = flat.size() / tuple_size;
+  const uint64_t new_pages = (rows + cap - 1) / cap;
+  std::vector<Page*> fresh;
+  fresh.reserve(new_pages);
+  auto free_fresh = [&]() {
+    for (Page* p : fresh) std::free(p);
+  };
+  for (uint64_t i = 0; i < new_pages; ++i) {
+    void* mem = nullptr;
+    int rc = posix_memalign(&mem, kPageSize, kPageSize);
+    if (rc != 0 || mem == nullptr) {
+      free_fresh();
+      return Status::ExecError("out of memory rewriting table pages");
+    }
+    Page* dst = static_cast<Page*>(mem);
+    fresh.push_back(dst);
+    const uint64_t first = i * cap;
+    const uint32_t nt =
+        static_cast<uint32_t>(std::min<uint64_t>(cap, rows - first));
+    dst->Reset();
+    dst->num_tuples = nt;
+    std::memcpy(dst->data, flat.data() + first * tuple_size,
+                static_cast<size_t>(nt) * tuple_size);
+  }
+  return fresh;
 }
 
 Status Table::RewritePages(const std::vector<uint8_t>& flat,
@@ -272,28 +451,30 @@ Status Table::RewritePages(const std::vector<uint8_t>& flat,
   };
 
   if (buffer_manager_ == nullptr) {
-    std::vector<Page*> fresh;
-    fresh.reserve(new_pages);
-    auto free_fresh = [&]() {
-      for (Page* p : fresh) std::free(p);
-    };
+    auto fresh = std::make_shared<PageGen>();
+    fresh->pages.reserve(new_pages);
     for (uint64_t i = 0; i < new_pages; ++i) {
       void* mem = nullptr;
       int rc = posix_memalign(&mem, kPageSize, kPageSize);
       if (rc != 0 || mem == nullptr) {
-        free_fresh();
         return Status::ExecError("out of memory rewriting table pages");
       }
-      fresh.push_back(static_cast<Page*>(mem));
-      Status s = fill(i, fresh.back());
-      if (!s.ok()) {
-        free_fresh();
-        return s;
-      }
+      fresh->pages.push_back(static_cast<Page*>(mem));
+      HQ_RETURN_IF_ERROR(fill(i, fresh->pages.back()));
     }
-    for (Page* p : owned_pages_) std::free(p);
-    owned_pages_ = std::move(fresh);
+    // Publish pages + codec + dictionaries + the stats-version bump as one
+    // atomic layout change: a concurrent Pin sees either the old layout at
+    // the old version or the new layout at the new version, never a mix.
+    // The retired generation stays alive until the last snapshot drains.
+    std::lock_guard<std::mutex> lk(state_mu_);
+    gen_ = std::move(fresh);
     num_pages_ = new_pages;
+    codec_ = codec;
+    dicts_ = dicts;
+    stats_version_.fetch_add(1, std::memory_order_acq_rel);
+    // RewritePages only runs for codec transitions (Compress/Decompress),
+    // so the encoding a compiled plan reads moved: retire in-flight plans.
+    layout_version_.fetch_add(1, std::memory_order_acq_rel);
     return Status::OK();
   }
 
@@ -315,18 +496,29 @@ Status Table::RewritePages(const std::vector<uint8_t>& flat,
   }
   file_ = nf;
   num_pages_ = new_pages;
+  codec_ = codec;
+  dicts_ = dicts;
+  stats_version_.fetch_add(1, std::memory_order_acq_rel);
+  layout_version_.fetch_add(1, std::memory_order_acq_rel);
   return Status::OK();
 }
 
 Status Table::Compress() {
   if (codec_.enabled) return Status::OK();  // idempotent
-  if (num_tuples_ == 0) return Status::OK();
-  if (!stats_.valid) HQ_RETURN_IF_ERROR(ComputeStats());
-  TableCodec codec = ChooseTableCodec(schema_, stats_);
+  if (NumTuples() == 0) return Status::OK();
+  if (delta_ != nullptr &&
+      (delta_->inserts() != 0 || delta_->deleted_base() != 0)) {
+    return Status::InvalidArgument(
+        "Compress with a non-empty delta store on " + name_ +
+        " (Compact folds it first)");
+  }
+  if (!stats().valid) HQ_RETURN_IF_ERROR(ComputeStats());
+  TableCodec codec = ChooseTableCodec(schema_, stats());
   if (!codec.enabled) return Status::OK();
 
   HQ_ASSIGN_OR_RETURN(std::vector<uint8_t> flat, GatherTuples());
   const uint32_t ts = schema_.TupleSize();
+  const uint64_t rows = NumTuples();
 
   // Build sorted dictionary blobs for kDict columns; a cardinality mismatch
   // means the statistics were stale — refuse rather than mis-encode.
@@ -336,7 +528,7 @@ Status Table::Compress() {
     const uint32_t len = schema_.ColumnAt(c).type.length;
     const uint32_t off = schema_.OffsetAt(c);
     std::set<std::string> values;
-    for (uint64_t i = 0; i < num_tuples_; ++i) {
+    for (uint64_t i = 0; i < rows; ++i) {
       values.emplace(
           reinterpret_cast<const char*>(flat.data() + i * ts + off), len);
     }
@@ -351,12 +543,14 @@ Status Table::Compress() {
     }
   }
 
+  // RewritePages publishes pages + codec + the stats-version bump; the
+  // (empty) delta store detaches because a compressed base cannot carry
+  // one — the next DML statement re-attaches via EnableWrites/Decompress.
   HQ_RETURN_IF_ERROR(RewritePages(flat, codec, dicts));
-  codec_ = std::move(codec);
-  dicts_ = std::move(dicts);
-  // The physical layout compiled plans were generated against changed;
-  // bump the version so plan-cache keys roll over.
-  stats_version_.fetch_add(1, std::memory_order_acq_rel);
+  if (delta_ != nullptr) {
+    std::lock_guard<std::mutex> lk(state_mu_);
+    delta_.reset();
+  }
   return Status::OK();
 }
 
@@ -364,9 +558,6 @@ Status Table::Decompress() {
   if (!codec_.enabled) return Status::OK();
   HQ_ASSIGN_OR_RETURN(std::vector<uint8_t> flat, GatherTuples());
   HQ_RETURN_IF_ERROR(RewritePages(flat, TableCodec{}, {}));
-  codec_ = TableCodec{};
-  dicts_.clear();
-  stats_version_.fetch_add(1, std::memory_order_acq_rel);
   return Status::OK();
 }
 
@@ -397,9 +588,13 @@ struct DistinctCounter {
 }  // namespace
 
 Status Table::ComputeStats() {
+  // Build into a local snapshot and publish it whole under stats_mu_ at the
+  // end: the compactor recomputes statistics while concurrent planners read
+  // them, and a half-updated TableStats must never be observable.
   stats_version_.fetch_add(1, std::memory_order_acq_rel);
-  stats_.rows = num_tuples_;
-  stats_.columns.assign(schema_.NumColumns(), ColumnStats{});
+  TableStats fresh;
+  fresh.rows = NumTuples();
+  fresh.columns.assign(schema_.NumColumns(), ColumnStats{});
   std::vector<DistinctCounter> counters(schema_.NumColumns());
   // Scan-order sortedness / max adjacent step (delta-encoding inputs).
   std::vector<int64_t> prev(schema_.NumColumns(), 0);
@@ -407,11 +602,13 @@ Status Table::ComputeStats() {
   std::vector<uint8_t> has_prev(schema_.NumColumns(), 0);
   std::vector<uint8_t> sorted(schema_.NumColumns(), 1);
 
+  uint64_t seen = 0;
   HQ_RETURN_IF_ERROR(ForEachTuple([&](const uint8_t* tuple) {
+    ++seen;
     for (size_t c = 0; c < schema_.NumColumns(); ++c) {
       const Column& col = schema_.ColumnAt(c);
       const uint8_t* p = tuple + schema_.OffsetAt(c);
-      ColumnStats& cs = stats_.columns[c];
+      ColumnStats& cs = fresh.columns[c];
       switch (col.type.id) {
         case TypeId::kInt32:
         case TypeId::kDate:
@@ -460,11 +657,14 @@ Status Table::ComputeStats() {
       }
     }
   }));
+  // Statistics describe the scanned snapshot, not whatever NumTuples says
+  // by the time the scan finishes (DML may have run in between).
+  fresh.rows = seen;
 
   for (size_t c = 0; c < schema_.NumColumns(); ++c) {
-    ColumnStats& cs = stats_.columns[c];
+    ColumnStats& cs = fresh.columns[c];
     if (counters[c].overflowed) {
-      cs.distinct = num_tuples_;
+      cs.distinct = seen;
       cs.distinct_exact = false;
     } else {
       cs.distinct = counters[c].Count();
@@ -476,7 +676,11 @@ Status Table::ComputeStats() {
     cs.sorted_asc = int_family && has_prev[c] != 0 && sorted[c] != 0;
     cs.max_step = cs.sorted_asc ? max_step[c] : 0;
   }
-  stats_.valid = true;
+  fresh.valid = true;
+  {
+    std::lock_guard<std::mutex> lk(stats_mu_);
+    stats_ = std::move(fresh);
+  }
   return Status::OK();
 }
 

@@ -1,5 +1,6 @@
 #include "tpch/tpch.h"
 
+#include <cstdio>
 #include <cstring>
 
 #include "util/rng.h"
@@ -421,6 +422,147 @@ std::string Query6Sql() {
          "and l_shipdate < date '1995-01-01' "
          "and l_discount >= 0.05 and l_discount <= 0.07 "
          "and l_quantity < 24";
+}
+
+namespace {
+
+// ---- Refresh streams (RF1 / RF2) ------------------------------------------
+
+constexpr uint32_t kRowsPerInsert = 48;  // multi-row INSERT chunk size
+
+std::string DateLiteral(int32_t days) {
+  int y, m, d;
+  DaysToDate(days, &y, &m, &d);
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%04d-%02d-%02d", y, m, d);
+  return std::string("date '") + buf + "'";
+}
+
+/// Shortest representation that strtod round-trips to the same double, so
+/// the engine's DML path and the reference executor both reconstruct the
+/// generator's exact value.
+std::string Num(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+std::string TextLiteral(Rng* rng, int max_words) {
+  std::string s;
+  int n = 1 + static_cast<int>(rng->NextBounded(max_words));
+  for (int i = 0; i < n; ++i) {
+    if (i > 0) s += ' ';
+    s += kWords[rng->NextBounded(sizeof(kWords) / sizeof(char*))];
+  }
+  return s;
+}
+
+void FlushInsert(const std::string& table, std::vector<std::string>* rows,
+                 std::vector<std::string>* out) {
+  if (rows->empty()) return;
+  std::string sql = "insert into " + table + " values ";
+  for (size_t i = 0; i < rows->size(); ++i) {
+    if (i > 0) sql += ", ";
+    sql += (*rows)[i];
+  }
+  out->push_back(std::move(sql));
+  rows->clear();
+}
+
+}  // namespace
+
+RefreshBatch MakeRf1(double scale_factor, uint64_t seed, uint64_t stream) {
+  RefreshBatch rf;
+  const uint64_t norders = TableCardinality("orders", scale_factor);
+  const uint64_t ncustomers = TableCardinality("customer", scale_factor);
+  const uint64_t nparts = TableCardinality("part", scale_factor);
+  const uint64_t nsuppliers = TableCardinality("supplier", scale_factor);
+  const uint64_t batch = Scaled(1500, scale_factor);
+  Rng rng(seed * 0x9e3779b97f4a7c15ull + (stream + 1) * 0x2545f4914f6cdd1dull);
+
+  std::vector<std::string> order_rows, line_rows;
+  for (uint64_t i = 1; i <= batch; ++i) {
+    const uint64_t okey = norders + stream * batch + i;
+    const int32_t orderdate = static_cast<int32_t>(
+        kStartDate + rng.NextBounded(kEndDate - 151 - kStartDate));
+    const uint32_t nlines = 1 + static_cast<uint32_t>(rng.NextBounded(7));
+    double totalprice = 0;
+    for (uint32_t ln = 1; ln <= nlines; ++ln) {
+      const double quantity = 1 + static_cast<double>(rng.NextBounded(50));
+      const uint64_t partkey = 1 + rng.NextBounded(nparts);
+      const double price =
+          (900.0 + static_cast<double>(partkey % 200000) / 10.0) * quantity;
+      const double discount = static_cast<double>(rng.NextBounded(11)) / 100.0;
+      const double tax = static_cast<double>(rng.NextBounded(9)) / 100.0;
+      const int32_t shipdate =
+          orderdate + 1 + static_cast<int32_t>(rng.NextBounded(121));
+      const int32_t commitdate =
+          orderdate + 30 + static_cast<int32_t>(rng.NextBounded(61));
+      const int32_t receiptdate =
+          shipdate + 1 + static_cast<int32_t>(rng.NextBounded(30));
+      const char returnflag =
+          receiptdate <= kCurrentDate ? (rng.NextBounded(2) == 0 ? 'R' : 'A')
+                                      : 'N';
+      const char linestatus = shipdate > kCurrentDate ? 'O' : 'F';
+      totalprice += price * (1.0 - discount) * (1.0 + tax);
+      std::string row = "(";
+      row += std::to_string(okey) + ", ";
+      row += std::to_string(partkey) + ", ";
+      row += std::to_string(1 + rng.NextBounded(nsuppliers)) + ", ";
+      row += std::to_string(ln) + ", ";
+      row += Num(quantity) + ", ";
+      row += Num(price) + ", ";
+      row += Num(discount) + ", ";
+      row += Num(tax) + ", ";
+      row += std::string("'") + returnflag + "', ";
+      row += std::string("'") + linestatus + "', ";
+      row += DateLiteral(shipdate) + ", ";
+      row += DateLiteral(commitdate) + ", ";
+      row += DateLiteral(receiptdate) + ", ";
+      row += std::string("'") + kInstructs[rng.NextBounded(4)] + "', ";
+      row += std::string("'") + kModes[rng.NextBounded(7)] + "', ";
+      row += "'" + TextLiteral(&rng, 4) + "')";
+      line_rows.push_back(std::move(row));
+      if (line_rows.size() >= kRowsPerInsert) {
+        FlushInsert("lineitem", &line_rows, &rf.statements);
+      }
+      ++rf.lineitems;
+    }
+    std::string row = "(";
+    row += std::to_string(okey) + ", ";
+    row += std::to_string(1 + rng.NextBounded(ncustomers)) + ", ";
+    row += "'O', ";
+    row += Num(totalprice) + ", ";
+    row += DateLiteral(orderdate) + ", ";
+    row += std::string("'") + kPriorities[rng.NextBounded(5)] + "', ";
+    row += "'Clerk#" + std::to_string(1 + rng.NextBounded(1000)) + "', ";
+    row += "0, ";
+    row += "'" + TextLiteral(&rng, 6) + "')";
+    order_rows.push_back(std::move(row));
+    if (order_rows.size() >= kRowsPerInsert) {
+      FlushInsert("orders", &order_rows, &rf.statements);
+    }
+    ++rf.orders;
+  }
+  FlushInsert("lineitem", &line_rows, &rf.statements);
+  FlushInsert("orders", &order_rows, &rf.statements);
+  return rf;
+}
+
+RefreshBatch MakeRf2(double scale_factor, uint64_t /*seed*/,
+                     uint64_t stream) {
+  RefreshBatch rf;
+  const uint64_t batch = Scaled(1500, scale_factor);
+  const uint64_t lo = stream * batch + 1;
+  const uint64_t hi = lo + batch;  // exclusive
+  rf.statements.push_back("delete from lineitem where l_orderkey >= " +
+                          std::to_string(lo) + " and l_orderkey < " +
+                          std::to_string(hi));
+  rf.statements.push_back("delete from orders where o_orderkey >= " +
+                          std::to_string(lo) + " and o_orderkey < " +
+                          std::to_string(hi));
+  rf.orders = batch;
+  return rf;
 }
 
 std::string Query10Sql() {

@@ -2,6 +2,7 @@
 #define HIQUE_TPCH_TPCH_H_
 
 #include <string>
+#include <vector>
 
 #include "storage/catalog.h"
 #include "util/status.h"
@@ -45,6 +46,30 @@ std::string Query10Sql();
 /// scan + conjunctive selection + scalar aggregation — and exercises the
 /// single-pass filter-aggregate path.
 std::string Query6Sql();
+
+/// One TPC-H refresh batch (spec §2.27/§2.28) expressed as DML statements
+/// in the engine's dialect, executable through Session::Query or
+/// net::Client::Query. All randomness is derived from (seed, stream), so a
+/// stream replays identically — the property the bit-identity tests rely
+/// on when they run the same batch against the engine and the reference
+/// executor.
+struct RefreshBatch {
+  std::vector<std::string> statements;
+  uint64_t orders = 0;     // orders inserted (RF1) / targeted (RF2)
+  uint64_t lineitems = 0;  // lineitems inserted (RF1 only)
+};
+
+/// RF1 (new sales): sf*1500 new orders, each with 1–7 lineitems, emitted
+/// as chunked multi-row INSERTs. Order keys are allocated above the loaded
+/// key domain and disjoint across streams, so interleaved streams never
+/// collide.
+RefreshBatch MakeRf1(double scale_factor, uint64_t seed, uint64_t stream);
+
+/// RF2 (old sales): range-deletes sf*1500 orders and their lineitems from
+/// the loaded key domain; stream `stream` claims keys
+/// [stream*batch+1, (stream+1)*batch], disjoint from every RF1 stream and
+/// from other RF2 streams.
+RefreshBatch MakeRf2(double scale_factor, uint64_t seed, uint64_t stream);
 
 }  // namespace hique::tpch
 

@@ -1,0 +1,61 @@
+#include "txn/compactor.h"
+
+#include "util/macros.h"
+
+namespace hique::txn {
+
+Compactor::Compactor(Catalog* catalog, bool recompress, uint64_t threshold)
+    : catalog_(catalog),
+      recompress_(recompress),
+      threshold_(threshold),
+      worker_([this] { Run(); }) {}
+
+Compactor::~Compactor() { Stop(); }
+
+void Compactor::NotifyWrite(const std::string& table) {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (stop_ || queued_.count(table) != 0) return;
+    queued_.insert(table);
+    queue_.push_back(table);
+  }
+  cv_.notify_one();
+}
+
+Status Compactor::CompactNow(const std::string& table) {
+  HQ_ASSIGN_OR_RETURN(Table * t, catalog_->GetTable(table));
+  return t->Compact(recompress_);
+}
+
+void Compactor::Stop() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (stop_) return;
+    stop_ = true;
+  }
+  cv_.notify_all();
+  if (worker_.joinable()) worker_.join();
+}
+
+void Compactor::Run() {
+  for (;;) {
+    std::string table;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      cv_.wait(lk, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ with nothing left to drain
+      table = std::move(queue_.front());
+      queue_.pop_front();
+      queued_.erase(table);
+    }
+    auto t = catalog_->GetTable(table);
+    if (!t.ok()) continue;  // dropped since the notification
+    if (t.value()->DeltaPages() < threshold_) continue;
+    // A failed fold (e.g. OOM) leaves the delta in place; the next write
+    // renotifies, so errors degrade to "delta keeps growing" not data loss.
+    Status s = t.value()->Compact(recompress_);
+    if (s.ok()) compactions_.fetch_add(1, std::memory_order_acq_rel);
+  }
+}
+
+}  // namespace hique::txn

@@ -1,0 +1,69 @@
+#ifndef HIQUE_TXN_COMPACTOR_H_
+#define HIQUE_TXN_COMPACTOR_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_set>
+
+#include "storage/catalog.h"
+
+namespace hique::txn {
+
+/// Background compaction: folds a table's delta store into fresh base pages
+/// once the delta grows past a page threshold. Runs Table::Compact, which
+/// re-runs ChooseTableCodec when `recompress` is set and bumps the table's
+/// statistics version — cached compiled plans over the old layout stop
+/// matching and recompile against the folded state.
+///
+/// One worker thread services a notification queue; NotifyWrite is cheap
+/// and safe to call from any session thread after each DML statement.
+class Compactor {
+ public:
+  /// `recompress` mirrors the engine's compression option. `threshold` is
+  /// the delta page count that triggers a fold.
+  Compactor(Catalog* catalog, bool recompress, uint64_t threshold = 64);
+  ~Compactor();
+
+  Compactor(const Compactor&) = delete;
+  Compactor& operator=(const Compactor&) = delete;
+
+  /// Marks `table` dirty; the worker folds it if its delta crossed the
+  /// threshold.
+  void NotifyWrite(const std::string& table);
+
+  /// Synchronous fold of one table regardless of threshold (tests, bench
+  /// checkpoints). Runs on the caller's thread.
+  Status CompactNow(const std::string& table);
+
+  /// Stops the worker and joins it. Idempotent; the destructor calls it.
+  void Stop();
+
+  /// Completed background folds (test observability).
+  uint64_t compactions() const {
+    return compactions_.load(std::memory_order_acquire);
+  }
+
+ private:
+  void Run();
+
+  Catalog* const catalog_;
+  const bool recompress_;
+  const uint64_t threshold_;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::string> queue_;        // FIFO of dirty table names
+  std::unordered_set<std::string> queued_;  // dedup for the queue
+  bool stop_ = false;
+  std::atomic<uint64_t> compactions_{0};
+  std::thread worker_;
+};
+
+}  // namespace hique::txn
+
+#endif  // HIQUE_TXN_COMPACTOR_H_

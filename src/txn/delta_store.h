@@ -1,0 +1,139 @@
+#ifndef HIQUE_TXN_DELTA_STORE_H_
+#define HIQUE_TXN_DELTA_STORE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "storage/page.h"
+#include "util/status.h"
+
+namespace hique::txn {
+
+/// Row identifiers for DML: base rows are addressed by their frozen
+/// physical position (page_no * tuples_per_page + slot) — stable because a
+/// table's base pages are never mutated in place once a delta store is
+/// attached — and delta rows by kDeltaIdBase + insert sequence number.
+/// Compaction renumbers everything, which is safe because DML statements
+/// and compaction serialize on the owning table's writer mutex.
+inline constexpr uint64_t kDeltaIdBase = 1ull << 62;
+
+/// The delete/update bitmap, copy-on-write: one bit per base slot and one
+/// per delta insert. Immutable once published — writers clone-and-replace,
+/// readers keep a shared_ptr for as long as they need the version.
+struct DeleteSet {
+  std::vector<uint8_t> base_bits;
+  std::vector<uint8_t> delta_bits;
+  uint64_t version = 0;
+
+  static bool Test(const std::vector<uint8_t>& bits, uint64_t i) {
+    const uint64_t byte = i >> 3;
+    return byte < bits.size() && ((bits[byte] >> (i & 7)) & 1) != 0;
+  }
+  static void Set(std::vector<uint8_t>* bits, uint64_t i) {
+    const uint64_t byte = i >> 3;
+    if (byte >= bits->size()) bits->resize(byte + 1, 0);
+    (*bits)[byte] |= static_cast<uint8_t>(1u << (i & 7));
+  }
+  bool BaseDeleted(uint64_t slot) const { return Test(base_bits, slot); }
+  bool DeltaDeleted(uint64_t seq) const { return Test(delta_bits, seq); }
+};
+
+/// Write-optimized per-table differential layer (the staged design of
+/// RDF-3X's DifferentialIndex, adapted to NSM pages): inserts land in plain
+/// NSM pages with the exact layout of base pages, deletes flip bits in a
+/// COW DeleteSet keyed by row id. Readers get an immutable merged view via
+/// SnapshotMerged(); the generated scan kernels consume delta pages with no
+/// codegen changes because every scan loop honors the per-page num_tuples
+/// header, and deleted rows never reach them because pages containing
+/// deletions are substituted with compacted copies at snapshot time.
+///
+/// Locking: every public method is thread-safe behind an internal mutex.
+/// Multi-step read-modify-write (enumerate row ids, then Delete them) must
+/// additionally hold the owning table's writer mutex so the ids stay
+/// meaningful across the statement.
+class DeltaStore {
+ public:
+  DeltaStore(uint32_t tuple_size, uint32_t tuples_per_page);
+
+  /// Appends one tuple (raw NSM bytes, tuple_size long) to the open insert
+  /// page, sealing it and opening a new one when full. Sealed pages are
+  /// never mutated again.
+  void Insert(const uint8_t* tuple);
+
+  /// Marks rows deleted (ids may address base or delta rows); publishes one
+  /// new DeleteSet version for the whole batch. Returns the number of rows
+  /// that were live before the call.
+  uint64_t Delete(const std::vector<uint64_t>& row_ids);
+
+  /// Total inserts ever (the snapshot watermark), live inserts, deleted
+  /// base rows, and the page footprint of the delta (compaction triggers).
+  uint64_t inserts() const;
+  uint64_t live_inserts() const;
+  uint64_t deleted_base() const;
+  uint64_t delta_pages() const;
+
+  std::shared_ptr<const DeleteSet> delete_set() const;
+
+  /// Invokes fn(row_id, tuple) for every live delta row. Caller must hold
+  /// the owning table's writer mutex (row ids must stay stable until used).
+  void ForEachLiveInsert(
+      const std::function<void(uint64_t, const uint8_t*)>& fn) const;
+
+  /// Appends the merged reader view of `base_pages` plus this delta to
+  /// `out`:
+  ///  - base pages with no deleted rows pass through untouched,
+  ///  - pages containing deletions are replaced by cached compacted copies
+  ///    (rebuilt only when the DeleteSet version moved),
+  ///  - sealed delta pages likewise, and the open insert page is frozen
+  ///    into a compact copy.
+  /// Returns the exact number of live tuples in the appended view and
+  /// pushes into `hold` the shared ownership that keeps every substitute
+  /// and delta page alive past a later compaction. Ownership of the base
+  /// pages themselves is the caller's concern (the table's generation).
+  uint64_t SnapshotMerged(const std::vector<Page*>& base_pages,
+                          std::vector<Page*>* out,
+                          std::vector<std::shared_ptr<const void>>* hold);
+
+ private:
+  using PagePtr = std::shared_ptr<Page>;
+  struct SubEntry {
+    uint64_t version = 0;  // DeleteSet version the substitute reflects
+    PagePtr page;
+  };
+
+  static PagePtr NewPage();
+  // Compacted copy of `src` keeping only rows whose global ids (computed
+  // via id_of) are live in `ds`.
+  PagePtr BuildSubstitute(const Page* src, const DeleteSet& ds, bool base,
+                          uint64_t first_id) const;
+
+  const uint32_t tuple_size_;
+  const uint32_t tuples_per_page_;
+
+  mutable std::mutex mu_;
+  std::vector<PagePtr> sealed_;  // always exactly tuples_per_page_ tuples
+  PagePtr open_;                 // partially filled tail, never published raw
+  uint32_t open_count_ = 0;
+  uint64_t inserts_ = 0;
+  uint64_t deleted_delta_ = 0;
+  uint64_t deleted_base_ = 0;
+  std::shared_ptr<const DeleteSet> deletes_;
+  // page index -> number of deleted rows in it (base / delta spaces).
+  std::unordered_map<uint64_t, uint32_t> base_page_dels_;
+  std::unordered_map<uint64_t, uint32_t> delta_page_dels_;
+  // Substitute caches, invalidated by DeleteSet version.
+  std::unordered_map<uint64_t, SubEntry> base_subs_;
+  std::unordered_map<uint64_t, SubEntry> delta_subs_;
+  // Frozen copy of the open page served to snapshots.
+  PagePtr open_sub_;
+  uint64_t open_sub_inserts_ = 0;
+  uint64_t open_sub_version_ = 0;
+};
+
+}  // namespace hique::txn
+
+#endif  // HIQUE_TXN_DELTA_STORE_H_

@@ -356,6 +356,93 @@ TEST_F(NetServerTest, MaxConnectionsRejectsExtraClients) {
   server.Stop();
 }
 
+// DML over the wire (protocol v4): the ResultDone frame carries
+// rows_affected, the DML cursor is pre-finished (no row pages), and a
+// follow-up SELECT on the same connection observes the write.
+TEST_F(NetServerTest, DmlOverWireReadYourWrites) {
+  // Private catalog: DML must not perturb the suite's shared tables.
+  Catalog catalog;
+  testing::MakeIntTable(&catalog, "w", 1000, 50, 77);
+  HiqueEngine engine(&catalog, FastOptions(2));
+  net::Server server(&engine);
+  ASSERT_TRUE(server.Start().ok());
+
+  auto connected = net::Client::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(connected.ok());
+  net::Client client = std::move(connected).value();
+
+  auto count = [&](const std::string& sql) -> int64_t {
+    auto rs = client.Query(sql);
+    HQ_CHECK(rs.ok());
+    net::RemoteResultSet cursor = std::move(rs).value();
+    HQ_CHECK(cursor.Next());
+    int64_t n = cursor.Get(0).AsInt64();
+    while (cursor.Next()) {
+    }
+    return n;
+  };
+
+  auto ins = client.Query("insert into w values (777, 5, 2.5, 'zz')");
+  ASSERT_TRUE(ins.ok()) << ins.status().ToString();
+  net::RemoteResultSet cursor = std::move(ins).value();
+  EXPECT_FALSE(cursor.Next());  // pre-finished: a DML cursor has no rows
+  EXPECT_TRUE(cursor.status().ok()) << cursor.status().ToString();
+  EXPECT_EQ(cursor.rows_affected(), 1);
+  EXPECT_EQ(count("select count(*) as c from w where w_k = 777"), 1);
+
+  auto upd = client.Query("update w set w_v = 9 where w_k = 777");
+  ASSERT_TRUE(upd.ok()) << upd.status().ToString();
+  net::RemoteResultSet ucur = std::move(upd).value();
+  EXPECT_FALSE(ucur.Next());
+  EXPECT_EQ(ucur.rows_affected(), 1);
+  EXPECT_EQ(count("select count(*) as c from w where w_k = 777 and w_v = 9"),
+            1);
+
+  auto del = client.Query("delete from w where w_k = 777");
+  ASSERT_TRUE(del.ok()) << del.status().ToString();
+  net::RemoteResultSet dcur = std::move(del).value();
+  EXPECT_FALSE(dcur.Next());
+  EXPECT_EQ(dcur.rows_affected(), 1);
+  EXPECT_EQ(count("select count(*) as c from w where w_k = 777"), 0);
+  server.Stop();
+}
+
+// Hostile DML frames: malformed DML text, unknown tables, read-only
+// (system/bench) targets and arity mismatches must come back as error
+// frames — typed statement failures, never an assert or a dead connection.
+TEST_F(NetServerTest, HostileDmlFramesAreStatementTerminalOnly) {
+  Catalog catalog;
+  testing::MakeIntTable(&catalog, "w", 100, 10, 78);
+  testing::MakeIntTable(&catalog, "sysw", 100, 10, 79);
+  catalog.GetTable("sysw").value()->SetReadOnly(true);
+  HiqueEngine engine(&catalog, FastOptions(1));
+  net::Server server(&engine);
+  ASSERT_TRUE(server.Start().ok());
+
+  auto connected = net::Client::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(connected.ok());
+  net::Client client = std::move(connected).value();
+
+  EXPECT_FALSE(client.Query("insert into w values (").ok());
+  EXPECT_FALSE(client.Query("delete from no_such_table").ok());
+  EXPECT_FALSE(client.Query("delete from sysw where sysw_k = 1").ok());
+  EXPECT_FALSE(client.Query("insert into w values (1, 2)").ok());
+  EXPECT_FALSE(client.Query("update w set nope = 1 where w_k = 1").ok());
+
+  // The connection survives all five rejections.
+  auto good = client.Query("select count(*) as c from w");
+  ASSERT_TRUE(good.ok()) << good.status().ToString();
+  net::RemoteResultSet cursor = std::move(good).value();
+  ASSERT_TRUE(cursor.Next());
+  EXPECT_EQ(cursor.Get(0).AsInt64(), 100);
+  EXPECT_FALSE(cursor.Next());
+
+  net::ServerStats stats = server.stats();
+  EXPECT_EQ(stats.queries_failed, 5u);
+  EXPECT_EQ(stats.queries_finished, 1u);
+  server.Stop();
+}
+
 TEST_F(NetServerTest, ServerStopUnblocksConnectedClients) {
   Catalog& catalog = SharedCatalog();
   HiqueEngine engine(&catalog, FastOptions(2));

@@ -147,7 +147,7 @@ TEST(TableTest, StatsMinMaxDistinct) {
     ASSERT_TRUE(t.AppendRow({Value::Int32(i % 10)}).ok());
   }
   ASSERT_TRUE(t.ComputeStats().ok());
-  const ColumnStats& cs = t.stats().columns[0];
+  const ColumnStats cs = t.stats().columns[0];
   EXPECT_EQ(cs.min.AsInt32(), 0);
   EXPECT_EQ(cs.max.AsInt32(), 9);
   EXPECT_EQ(cs.distinct, 10u);
