@@ -84,6 +84,14 @@ int main(int argc, char** argv) {
   mopts.gen_dir = env::ProcessTempDir() + "/fig8_mt";
   mopts.threads = threads;
   HiqueEngine hique_mt(&catalog, mopts);
+  // Span-collection engine: trace_spans records the per-operator breakdown
+  // (same generated source — only an engine-side recorder is installed).
+  // Runs once per query outside the timed repeats so the tracked numbers
+  // stay untouched by the extra clock reads.
+  EngineOptions spopts = mopts;
+  spopts.gen_dir = env::ProcessTempDir() + "/fig8_span";
+  spopts.trace_spans = true;
+  HiqueEngine hique_span(&catalog, spopts);
   // Compressed-storage run: a second identically seeded catalog (the
   // compressing engine rewrites its tables in place, which must not
   // perturb the other systems' inputs) with decode fused into the
@@ -147,6 +155,47 @@ int main(int argc, char** argv) {
     }
     return t;
   };
+  // One instrumented run per query: per-operator wall time / tuples /
+  // pages / barriers keyed to the plan's op lines, embedded in the JSON
+  // datapoint so a perf regression points at the operator, not the query.
+  auto op_spans_json = [&](const std::string& sql) {
+    bench::JsonArr spans;
+    auto res = hique_span.Query(sql);
+    if (!res.ok()) return spans;
+    const QueryResult& r = res.value();
+    std::vector<std::string> plan_lines;
+    std::string line;
+    for (char c : r.plan_text) {
+      if (c == '\n') {
+        plan_lines.push_back(line);
+        line.clear();
+      } else {
+        line += c;
+      }
+    }
+    if (!line.empty()) plan_lines.push_back(line);
+    for (const exec::OpStat& op : r.exec_stats.ops) {
+      std::string label;
+      if (op.op_id >= 0 &&
+          op.op_id < static_cast<int32_t>(plan_lines.size())) {
+        const std::string& pl = plan_lines[static_cast<size_t>(op.op_id)];
+        size_t b = pl.find_first_not_of(" \t");
+        size_t e = pl.find_last_not_of(" \t\r");
+        if (b != std::string::npos) label = pl.substr(b, e - b + 1);
+      }
+      spans.Add(bench::JsonObj()
+                    .Int("op_id", op.op_id)
+                    .Str("op", label)
+                    .Num("wall_s", op.wall_seconds)
+                    .Int("tuples", static_cast<int64_t>(op.tuples))
+                    .Int("pages", static_cast<int64_t>(op.pages))
+                    .Int("barriers", static_cast<int64_t>(op.barriers))
+                    .Int("tasks", static_cast<int64_t>(op.tasks))
+                    .Num("max_skew", op.max_skew)
+                    .Render());
+    }
+    return spans;
+  };
   bench::JsonArr json_queries;
   for (const auto& q : queries) {
     cur_sql = q.sql;
@@ -199,6 +248,7 @@ int main(int argc, char** argv) {
                          .Num("comp_speedup", t_comp > 0 ? t_hq / t_comp : 0)
                          .Num("mt_speedup", t_mt > 0 ? t_hq / t_mt : 0)
                          .Int("rows", rows)
+                         .Add("op_spans", op_spans_json(q.sql).Render())
                          .Render());
   }
   table.Print();
@@ -265,6 +315,7 @@ int main(int argc, char** argv) {
                        .Num("simd_speedup", t_hq > 0 ? t_scalar / t_hq : 0)
                        .Num("mt_speedup", t_mt > 0 ? t_hq / t_mt : 0)
                        .Int("rows", rows)
+                       .Add("op_spans", op_spans_json(q.sql).Render())
                        .Render());
   }
   std::printf("\n");

@@ -16,6 +16,9 @@
 //   --sf X          TPC-H scale factor        (default 0.01)
 //   --threads N     intra-query parallelism   (default HQ_THREADS or 1)
 //   --max-conn N    max concurrent clients    (default 64)
+//
+// SIGUSR1 dumps the full metrics registry (Prometheus text) plus a
+// one-line server summary to stderr without disturbing the server.
 
 #include <csignal>
 #include <cstdio>
@@ -34,8 +37,26 @@
 namespace {
 
 volatile std::sig_atomic_t g_stop = 0;
+volatile std::sig_atomic_t g_dump = 0;
 
 void OnSignal(int) { g_stop = 1; }
+void OnDumpSignal(int) { g_dump = 1; }
+
+void DumpStats(hique::HiqueEngine* engine, hique::net::Server* server) {
+  hique::net::ServerStats s = server->stats();
+  std::fprintf(stderr,
+               "hiqued stats: %llu conns active, %llu queries started "
+               "(%llu ok, %llu failed, %llu cancelled), %llu rows streamed\n",
+               static_cast<unsigned long long>(s.connections_active),
+               static_cast<unsigned long long>(s.queries_started),
+               static_cast<unsigned long long>(s.queries_finished),
+               static_cast<unsigned long long>(s.queries_failed),
+               static_cast<unsigned long long>(s.queries_cancelled),
+               static_cast<unsigned long long>(s.rows_streamed));
+  std::string text = engine->RenderStats();
+  std::fwrite(text.data(), 1, text.size(), stderr);
+  std::fflush(stderr);
+}
 
 }  // namespace
 
@@ -117,7 +138,12 @@ int main(int argc, char** argv) {
 
   std::signal(SIGINT, OnSignal);
   std::signal(SIGTERM, OnSignal);
+  std::signal(SIGUSR1, OnDumpSignal);
   while (g_stop == 0) {
+    if (g_dump != 0) {
+      g_dump = 0;
+      DumpStats(&engine, &server);  // off the signal handler, in the loop
+    }
     usleep(50 * 1000);
   }
 

@@ -1,10 +1,13 @@
 // remote_client: command-line client for a running hiqued server.
 //
 //   $ ./build/remote_client HOST PORT [SQL ...]
+//   $ ./build/remote_client HOST PORT --server-stats
 //
 // With SQL arguments, runs each statement in order and prints up to 10
 // rows plus a summary. Without any, runs a small TPC-H demo set (Q6 and
-// Q1). Exits nonzero on connection or query failure.
+// Q1). With --server-stats, prints the server's metrics dump (Prometheus
+// text exposition format, protocol v5) to stdout and exits. Exits nonzero
+// on connection or query failure.
 
 #include <cstdio>
 #include <cstdlib>
@@ -74,6 +77,22 @@ int main(int argc, char** argv) {
     return 1;
   }
   net::Client client = std::move(connected).value();
+
+  if (argc == 4 && std::string(argv[3]) == "--server-stats") {
+    // Keep stdout pure Prometheus text so scrapers can pipe it.
+    auto stats = client.ServerStats();
+    if (!stats.ok()) {
+      std::fprintf(stderr, "server-stats failed: %s\n",
+                   stats.status().ToString().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "server uptime: %.1f s\n",
+                 stats.value().uptime_seconds);
+    std::fputs(stats.value().prometheus_text.c_str(), stdout);
+    (void)client.Close();
+    return 0;
+  }
+
   std::printf("connected to %s:%d (%s)\n\n", host.c_str(), port,
               client.server_banner().c_str());
 

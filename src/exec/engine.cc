@@ -1,11 +1,13 @@
 #include "exec/engine.h"
 
+#include <cstdlib>
 #include <sstream>
 #include <utility>
 
 #include "codegen/generator.h"
 #include "exec/admission.h"
 #include "exec/session_internal.h"
+#include "obs/metrics.h"
 #include "plan/params.h"
 #include "sql/binder.h"
 #include "sql/parser.h"
@@ -15,6 +17,41 @@
 #include "util/timer.h"
 
 namespace hique {
+
+namespace {
+
+/// Process-wide plan-cache instruments. Looked up once; bumping is
+/// lock-free afterwards. These aggregate over every engine in the process
+/// (hiqued runs one), alongside the per-engine CacheStats counters.
+struct PlanCacheMetrics {
+  obs::Counter* hits;
+  obs::Counter* misses;
+  obs::Counter* evictions;
+  obs::Counter* tier_upgrades;
+  obs::Gauge* entries;
+
+  static PlanCacheMetrics& Get() {
+    static PlanCacheMetrics m = [] {
+      obs::Registry& r = obs::Registry::Global();
+      PlanCacheMetrics out;
+      out.hits = r.GetCounter("hique_plan_cache_hits_total",
+                              "Compiled-query cache hits");
+      out.misses = r.GetCounter("hique_plan_cache_misses_total",
+                                "Compiled-query cache misses (compiles)");
+      out.evictions = r.GetCounter("hique_plan_cache_evictions_total",
+                                   "Compiled-query cache LRU evictions");
+      out.tier_upgrades =
+          r.GetCounter("hique_plan_cache_tier_upgrades_total",
+                       "Background -O2 recompilations swapped in");
+      out.entries = r.GetGauge("hique_plan_cache_entries",
+                               "Distinct compiled plans currently cached");
+      return out;
+    }();
+    return m;
+  }
+};
+
+}  // namespace
 
 std::vector<std::vector<Value>> QueryResult::Rows() const {
   std::vector<std::vector<Value>> rows;
@@ -106,6 +143,16 @@ HiqueEngine::HiqueEngine(Catalog* catalog, EngineOptions options)
     options_.buffer_pool_pages =
         static_cast<uint64_t>(env::EnvInt("HQ_BUFFER_PAGES", 0));
   }
+  if (!options_.trace_spans) {
+    std::string env = env::EnvString("HQ_TRACE_SPANS", "");
+    options_.trace_spans = (env == "1" || env == "on");
+  }
+  if (options_.slow_query_ms <= 0) {
+    // Fractional thresholds are meaningful (sub-ms statements), so parse
+    // as a double rather than EnvInt.
+    std::string env = env::EnvString("HQ_SLOW_QUERY_MS", "");
+    if (!env.empty()) options_.slow_query_ms = std::strtod(env.c_str(), nullptr);
+  }
   if (options_.compression && catalog_ != nullptr) {
     // Compress every eligible table before any plan can be cached: the plan
     // signature embeds the codec, and Table::Compress bumps the statistics
@@ -173,10 +220,90 @@ txn::Compactor* HiqueEngine::compactor() {
 }
 
 Result<uint64_t> HiqueEngine::ExecuteDml(const std::string& sql) {
+  // Delta-store write feed: DML volume is the signal behind compaction
+  // pressure, so it is worth two lock-free bumps per statement.
+  struct DmlMetrics {
+    obs::Counter* statements;
+    obs::Counter* rows;
+    static DmlMetrics& Get() {
+      static DmlMetrics* m = [] {
+        auto* r = &obs::Registry::Global();
+        auto* it = new DmlMetrics();
+        it->statements = r->GetCounter(
+            "hique_dml_statements_total",
+            "DML statements executed against the delta store");
+        it->rows = r->GetCounter("hique_dml_rows_total",
+                                 "Rows inserted, updated or deleted");
+        return it;
+      }();
+      return *m;
+    }
+  };
   HQ_ASSIGN_OR_RETURN(std::unique_ptr<sql::DmlStmt> stmt, sql::ParseDml(sql));
   HQ_ASSIGN_OR_RETURN(uint64_t affected, txn::ExecuteDml(*stmt, catalog_));
+  DmlMetrics::Get().statements->Increment();
+  DmlMetrics::Get().rows->Add(affected);
   if (affected > 0) compactor()->NotifyWrite(stmt->table);
   return affected;
+}
+
+std::string HiqueEngine::RenderStats() {
+  // Subsystems with exact counters behind their own locks (admission
+  // scheduler, background compactor) are folded in at scrape frequency —
+  // their hot paths stay untouched. Everything else streams in live.
+  struct ScrapeGauges {
+    obs::Gauge* adm_submitted;
+    obs::Gauge* adm_dispatched;
+    obs::Gauge* adm_blocking;
+    obs::Gauge* adm_removed;
+    obs::Gauge* adm_max_queued;
+    obs::Gauge* compactions;
+    obs::Gauge* threads;
+    static ScrapeGauges& Get() {
+      static ScrapeGauges* g = [] {
+        auto* r = &obs::Registry::Global();
+        auto* it = new ScrapeGauges();
+        it->adm_submitted =
+            r->GetGauge("hique_admission_submitted",
+                        "Async statements handed to the admission queue");
+        it->adm_dispatched = r->GetGauge(
+            "hique_admission_dispatched", "Async statements dispatched");
+        it->adm_blocking =
+            r->GetGauge("hique_admission_blocking_admitted",
+                        "Blocking statements granted an admission lease");
+        it->adm_removed = r->GetGauge(
+            "hique_admission_removed", "Statements cancelled while queued");
+        it->adm_max_queued = r->GetGauge(
+            "hique_admission_max_queued", "Admission queue depth high-water");
+        it->compactions = r->GetGauge("hique_compactions",
+                                      "Background delta compactions run");
+        it->threads =
+            r->GetGauge("hique_engine_threads", "Configured worker threads");
+        return it;
+      }();
+      return *g;
+    }
+  };
+  auto& g = ScrapeGauges::Get();
+  {
+    std::lock_guard<std::mutex> lk(admission_mu_);
+    if (admission_ != nullptr) {
+      exec::AdmissionController::Counters c = admission_->counters();
+      g.adm_submitted->Set(static_cast<int64_t>(c.submitted));
+      g.adm_dispatched->Set(static_cast<int64_t>(c.dispatched));
+      g.adm_blocking->Set(static_cast<int64_t>(c.blocking_admitted));
+      g.adm_removed->Set(static_cast<int64_t>(c.removed));
+      g.adm_max_queued->Set(static_cast<int64_t>(c.max_queued));
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lk(compactor_mu_);
+    if (compactor_ != nullptr) {
+      g.compactions->Set(static_cast<int64_t>(compactor_->compactions()));
+    }
+  }
+  g.threads->Set(threads_);
+  return obs::Registry::Global().RenderPrometheus();
 }
 
 Result<std::shared_ptr<exec::CompiledLibrary>> HiqueEngine::CompilePlan(
@@ -232,7 +359,9 @@ void HiqueEngine::InsertCacheLocked(
     cache_.erase(lru_.back());
     lru_.pop_back();
     ++stats_.evictions;
+    PlanCacheMetrics::Get().evictions->Increment();
   }
+  PlanCacheMetrics::Get().entries->Set(static_cast<int64_t>(cache_.size()));
 }
 
 std::shared_ptr<exec::CompiledLibrary> HiqueEngine::PeekLibrary(
@@ -249,10 +378,12 @@ Result<std::shared_ptr<exec::CompiledLibrary>> HiqueEngine::GetOrCompile(
     std::lock_guard<std::mutex> lk(mu_);
     if (auto lib = LookupCacheLocked(signature)) {
       ++stats_.hits;
+      PlanCacheMetrics::Get().hits->Increment();
       *cache_hit = true;
       return lib;
     }
     ++stats_.misses;
+    PlanCacheMetrics::Get().misses->Increment();
   }
 
   int opt_level = options_.compile.opt_level;
@@ -328,6 +459,7 @@ void HiqueEngine::TierWorkerLoop() {
           replaced = std::move(it->second.library);
           it->second.library = std::move(fresh);
           ++stats_.tier_upgrades;
+          PlanCacheMetrics::Get().tier_upgrades->Increment();
         }
         // Otherwise drop the fresh library; its files are unlinked by the
         // destructor.

@@ -15,6 +15,7 @@
 #include "exec/compiled_library.h"
 #include "exec/compiler.h"
 #include "exec/executor.h"
+#include "obs/slow_log.h"
 #include "plan/optimizer.h"
 #include "storage/catalog.h"
 #include "txn/compactor.h"
@@ -163,6 +164,18 @@ struct EngineOptions {
   std::string listen_address = "127.0.0.1";
   uint16_t listen_port = 0;
   uint32_t max_connections = 64;
+  // Observability. trace_spans records a per-operator span breakdown
+  // (ExecStats::ops) for every statement, not just EXPLAIN ANALYZE ones —
+  // false resolves through HQ_TRACE_SPANS. Purely an engine-side listener
+  // behind the operator marks the generated code always carries: flipping
+  // it changes neither the generated source nor any result byte, and
+  // cached libraries keep serving.
+  bool trace_spans = false;
+  // Statements whose end-to-end wall time crosses this threshold are
+  // recorded in the engine's slow-query log (statement, plan signature,
+  // span summary) and echoed to stderr. 0 disables and resolves through
+  // HQ_SLOW_QUERY_MS.
+  double slow_query_ms = 0;
 };
 
 /// Per-session admission and activity metrics (Session::Stats). Wait time
@@ -572,6 +585,27 @@ class HiqueEngine {
   /// observe the -O2 tier deterministically.
   void WaitForTierUpgrades();
 
+  /// The engine's slow-query log (EngineOptions::slow_query_ms /
+  /// HQ_SLOW_QUERY_MS; empty while the threshold is 0).
+  obs::SlowQueryLog* slow_log() { return &slow_log_; }
+
+  /// Resolved slow-query threshold in milliseconds (0 = disabled).
+  double slow_query_ms() const { return options_.slow_query_ms; }
+
+  /// Resolved trace default: when true, every statement collects per-
+  /// operator spans (EXPLAIN ANALYZE forces collection regardless).
+  bool trace_spans() const { return options_.trace_spans; }
+
+  /// Synchronizes scrape-time gauges (admission-scheduler counters,
+  /// background compactions, plan-cache population) into the global
+  /// metrics registry and renders the Prometheus text dump. Hot paths feed
+  /// their instruments live; subsystems that already keep exact internal
+  /// counters under their own locks are folded in here, at scrape
+  /// frequency, instead of taking a second atomic on every event. Serves
+  /// the protocol-v5 ServerStats frame, the SIGUSR1 dump, and
+  /// `remote_client --server-stats`.
+  std::string RenderStats();
+
  private:
   friend struct SessionImpl;
 
@@ -682,6 +716,9 @@ class HiqueEngine {
 
   // The session behind the engine-level Query/Execute conveniences.
   Session default_session_;
+
+  // Bounded slow-statement ring (see EngineOptions::slow_query_ms).
+  obs::SlowQueryLog slow_log_;
 };
 
 }  // namespace hique

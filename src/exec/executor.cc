@@ -13,6 +13,7 @@
 
 #include "codegen/runtime_abi.h"
 #include "exec/arena.h"
+#include "perf/perf_counters.h"
 #include "sql/binder.h"
 #include "storage/page.h"
 #include "util/macros.h"
@@ -166,6 +167,80 @@ class DlHandle {
   void* handle_;
 };
 
+/// Engine-side listener behind the operator-boundary marks the generated
+/// code always emits (hq_op_mark). Every mark closes the span of the
+/// operator that just finished: wall time is the steady-clock delta since
+/// the previous mark, counter columns are deltas of the context counters
+/// (which the barrier fold keeps current), and cycles come from an optional
+/// perf_event counter. Marks run on the single orchestrating thread — the
+/// same thread that folds worker counters — so no synchronization is
+/// needed anywhere in here.
+struct OpSpanRecorder {
+  HqQueryCtx* ctx = nullptr;
+  perf::PerfCounters* perf = nullptr;  // started by the caller; may be null
+  std::vector<OpStat> spans;
+
+  std::chrono::steady_clock::time_point last;
+  uint64_t last_pages = 0, last_tuples = 0, last_helpers = 0;
+  uint64_t last_cycles = 0;
+  bool last_cycles_ok = false;
+  bool open = false;
+  int32_t open_op = -1;
+  // Barrier shape of the open span, fed by ParallelService::Invoke.
+  uint64_t open_barriers = 0, open_tasks = 0;
+  double open_skew = 0;
+
+  void Install(HqQueryCtx* query_ctx, perf::PerfCounters* counters) {
+    ctx = query_ctx;
+    perf = counters;
+    ctx->obs = this;
+    ctx->op_mark = &OpSpanRecorder::Mark;
+    last = std::chrono::steady_clock::now();
+    last_cycles_ok = perf != nullptr && perf->ReadCycles(&last_cycles);
+  }
+
+  static void Mark(void* obs, int32_t op_id) {
+    auto* r = static_cast<OpSpanRecorder*>(obs);
+    auto now = std::chrono::steady_clock::now();
+    uint64_t cycles = 0;
+    bool cycles_ok = r->perf != nullptr && r->perf->ReadCycles(&cycles);
+    if (r->open) {
+      OpStat s;
+      s.op_id = r->open_op;
+      s.wall_seconds =
+          std::chrono::duration<double>(now - r->last).count();
+      s.tuples = r->ctx->tuples_emitted - r->last_tuples;
+      s.pages = r->ctx->pages_touched - r->last_pages;
+      s.helper_calls = r->ctx->helper_calls - r->last_helpers;
+      s.barriers = r->open_barriers;
+      s.tasks = r->open_tasks;
+      s.max_skew = r->open_skew;
+      if (cycles_ok && r->last_cycles_ok) {
+        s.cycles = cycles - r->last_cycles;
+        s.cycles_valid = true;
+      }
+      r->spans.push_back(s);
+    }
+    r->open = op_id >= 0;
+    r->open_op = op_id;
+    r->open_barriers = 0;
+    r->open_tasks = 0;
+    r->open_skew = 0;
+    r->last = now;
+    r->last_pages = r->ctx->pages_touched;
+    r->last_tuples = r->ctx->tuples_emitted;
+    r->last_helpers = r->ctx->helper_calls;
+    r->last_cycles = cycles;
+    r->last_cycles_ok = cycles_ok;
+  }
+
+  /// Closes a span an error path left open (the terminal mark only runs on
+  /// success), so a failed operator still shows up with its partial span.
+  void Finalize() {
+    if (open) Mark(this, -1);
+  }
+};
+
 /// The engine side of the hq_parallel_for service: dispatches tasks over
 /// the shared WorkerPool (or serially on worker slot 0), then folds the
 /// per-worker counters into the query context and promotes the first
@@ -183,6 +258,9 @@ struct ParallelService {
   uint64_t barriers = 0;
   uint64_t tasks = 0;
   double max_skew = 0.0;
+  // When tracing, barrier shape and skew are additionally attributed to
+  // the operator currently running (ctx->current_op) via the recorder.
+  OpSpanRecorder* recorder = nullptr;
 
   /// Task-granular cancellation: checked before each task runs, so a
   /// cancelled query abandons the rest of an in-flight barrier through the
@@ -264,10 +342,16 @@ struct ParallelService {
     // whole barrier while the rest were trivial.
     ++s->barriers;
     s->tasks += num_tasks;
+    double skew = 0;
     if (tasks_run > 0 && sum_ns > 0) {
-      double skew = static_cast<double>(max_ns) * tasks_run /
-                    static_cast<double>(sum_ns);
+      skew = static_cast<double>(max_ns) * tasks_run /
+             static_cast<double>(sum_ns);
       if (skew > s->max_skew) s->max_skew = skew;
+    }
+    if (s->recorder != nullptr) {
+      ++s->recorder->open_barriers;
+      s->recorder->open_tasks += num_tasks;
+      if (skew > s->recorder->open_skew) s->recorder->open_skew = skew;
     }
     // Fail-safe: a cancelled job must surface as an error even if the
     // failing task forgot to record a cause in its worker context —
@@ -512,6 +596,25 @@ Result<int64_t> ExecuteEntryStreaming(const std::vector<Table*>& tables,
   ctx.result_emit_pages = &StreamSink::EmitPages;
   ctx.result_sink = &sink;
   ctx.scheduler = &par_service;
+  ctx.current_op = -1;
+
+  // Span recorder: only installed when the run asked for operator stats.
+  // The generated code's marks fire either way (byte-identical source);
+  // without a recorder each mark is a store and a not-taken branch.
+  OpSpanRecorder recorder;
+  std::unique_ptr<perf::PerfCounters> perf_counters;
+  if (par.collect_op_stats) {
+    if (par.collect_op_cycles) {
+      perf_counters = std::make_unique<perf::PerfCounters>();
+      if (perf_counters->available()) {
+        perf_counters->Start();
+      } else {
+        perf_counters.reset();  // spans report cycles_valid = false
+      }
+    }
+    recorder.Install(&ctx, perf_counters.get());
+    par_service.recorder = &recorder;
+  }
 
   WallTimer timer;
   int64_t rows = entry(&ctx, ctx.params);
@@ -563,6 +666,10 @@ Result<int64_t> ExecuteEntryStreaming(const std::vector<Table*>& tables,
     stats->bp_hits = bp_hits1 - bp_hits0;
     stats->bp_misses = bp_misses1 - bp_misses0;
     stats->bp_evictions = bp_evictions1 - bp_evictions0;
+    if (par.collect_op_stats) {
+      recorder.Finalize();
+      stats->ops = std::move(recorder.spans);
+    }
   }
   return rows;
 }

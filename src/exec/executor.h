@@ -18,6 +18,25 @@ namespace hique::exec {
 /// Execution statistics for one query run, including the deterministic
 /// software counters the generated code maintains (see DESIGN.md §2 on the
 /// OProfile substitution).
+/// Per-operator span of one execution, recorded engine-side at the operator
+/// boundary marks the generated code always emits (hq_op_mark). Wall time is
+/// the span between consecutive marks on the orchestrating thread; counter
+/// columns are deltas of the context counters folded at parallel barriers,
+/// so they are exact per operator and deterministic across thread counts.
+/// Timing columns (wall_seconds, max_skew, cycles) are not deterministic.
+struct OpStat {
+  int32_t op_id = -1;          // index into the physical plan's op list
+  double wall_seconds = 0;
+  uint64_t tuples = 0;         // tuples this operator emitted
+  uint64_t pages = 0;          // pages it touched
+  uint64_t helper_calls = 0;
+  uint64_t barriers = 0;       // hq_parallel_for barriers it ran
+  uint64_t tasks = 0;          // tasks across those barriers
+  double max_skew = 0;         // worst barrier skew within this operator
+  uint64_t cycles = 0;         // hardware cycles (perf_event), if available
+  bool cycles_valid = false;   // false => render cycles as "n/a"
+};
+
 struct ExecStats {
   int64_t rows = 0;
   double execute_seconds = 0;
@@ -42,6 +61,10 @@ struct ExecStats {
   uint64_t bp_hits = 0;
   uint64_t bp_misses = 0;
   uint64_t bp_evictions = 0;
+  // Per-operator spans, in pipeline order. Empty unless the run asked for
+  // op stats (ParallelRuntime::collect_op_stats — EXPLAIN ANALYZE, the
+  // engine's trace_spans option, or the benches).
+  std::vector<OpStat> ops;
 };
 
 /// Intra-query parallelism wiring for one execution. Defaults describe the
@@ -61,6 +84,15 @@ struct ParallelRuntime {
   // Worker-pool priority of this execution's barriers: when concurrent
   // queries contend for pool threads, higher-priority jobs drain first.
   int priority = 0;
+  // Observability: when set, the executor installs a span recorder behind
+  // the operator-boundary marks and fills ExecStats::ops. Never changes the
+  // generated source or the result bytes — the marks are always compiled
+  // in; this only decides whether anything listens to them.
+  bool collect_op_stats = false;
+  // Additionally sample hardware cycle counts per operator via
+  // perf_event_open (EXPLAIN ANALYZE). Spans report cycles_valid = false
+  // when the kernel denies the counters — callers render "n/a".
+  bool collect_op_cycles = false;
 };
 
 /// Returns true when the failure is the map-aggregation directory overflow

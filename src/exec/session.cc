@@ -7,9 +7,12 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <cstring>
 #include <utility>
 
 #include "exec/session_internal.h"
+#include "obs/explain.h"
+#include "obs/metrics.h"
 #include "sql/parser.h"
 #include "util/macros.h"
 
@@ -152,6 +155,96 @@ void RecordExecGauges(Session::State* session, const exec::ExecStats& stats) {
                                        std::memory_order_relaxed);
 }
 
+/// Process-wide statement instruments, resolved once (the registry mutex is
+/// touched only on first use; the hot path is lock-free shard updates).
+struct StatementMetrics {
+  obs::Counter* statements;
+  obs::Counter* failed;
+  obs::Counter* rows;
+  obs::Counter* slow;
+  obs::Counter* bp_hits;
+  obs::Counter* bp_misses;
+  obs::Counter* bp_evictions;
+  obs::Counter* barriers;
+  obs::Counter* tasks;
+  obs::Histogram* execute_ms;
+  obs::Histogram* total_ms;
+  obs::Histogram* admission_wait_ms;
+  static StatementMetrics& Get() {
+    static StatementMetrics* m = [] {
+      auto* r = &obs::Registry::Global();
+      auto* it = new StatementMetrics();
+      it->statements = r->GetCounter("hique_statements_total",
+                                     "Statements completed successfully");
+      it->failed = r->GetCounter("hique_statements_failed_total",
+                                 "Statements that finished with an error");
+      it->rows = r->GetCounter("hique_result_rows_total",
+                               "Result rows produced by completed statements");
+      it->slow = r->GetCounter("hique_slow_queries_total",
+                               "Statements recorded in the slow-query log");
+      it->bp_hits = r->GetCounter("hique_bufferpool_hits_total",
+                                  "Buffer-pool page hits (statement deltas)");
+      it->bp_misses =
+          r->GetCounter("hique_bufferpool_misses_total",
+                        "Buffer-pool page misses (statement deltas)");
+      it->bp_evictions =
+          r->GetCounter("hique_bufferpool_evictions_total",
+                        "Buffer-pool evictions (statement deltas)");
+      it->barriers = r->GetCounter("hique_exec_barriers_total",
+                                   "Parallel-for barriers executed");
+      it->tasks = r->GetCounter("hique_exec_tasks_total",
+                                "Parallel-for tasks executed");
+      it->execute_ms = r->GetHistogram(
+          "hique_statement_execute_ms",
+          "Execute-phase wall time per statement (milliseconds)",
+          obs::LatencyBucketsMs());
+      it->total_ms = r->GetHistogram(
+          "hique_statement_total_ms",
+          "End-to-end wall time per statement (milliseconds)",
+          obs::LatencyBucketsMs());
+      it->admission_wait_ms = r->GetHistogram(
+          "hique_admission_wait_ms",
+          "Admission-queue wait before dispatch (milliseconds)",
+          obs::LatencyBucketsMs());
+      return it;
+    }();
+    return *m;
+  }
+};
+
+double TotalMs(const QueryTimings& t) {
+  return t.parse_ms + t.optimize_ms + t.generate_ms + t.compile_ms +
+         t.execute_ms;
+}
+
+/// Statement-completion fold shared by the cursor and blocking drains:
+/// latency histograms, row counters, and the engine's slow-query log.
+void RecordStatementDone(ResultSet::Stream* s, int64_t rows) {
+  auto& m = StatementMetrics::Get();
+  m.statements->Increment();
+  if (rows > 0) m.rows->Add(static_cast<uint64_t>(rows));
+  m.bp_hits->Add(s->stats.bp_hits);
+  m.bp_misses->Add(s->stats.bp_misses);
+  m.bp_evictions->Add(s->stats.bp_evictions);
+  m.barriers->Add(s->stats.par_barriers);
+  m.tasks->Add(s->stats.par_tasks);
+  m.execute_ms->Observe(s->timings.execute_ms);
+  double total = TotalMs(s->timings);
+  m.total_ms->Observe(total);
+  HiqueEngine* engine = s->engine;
+  if (engine != nullptr && engine->slow_query_ms() > 0 &&
+      total >= engine->slow_query_ms()) {
+    m.slow->Increment();
+    obs::SlowQueryEntry entry;
+    entry.sql = (!s->sql.empty() || s->state == nullptr) ? s->sql
+                                                         : s->state->sql;
+    entry.signature = s->plan_signature;
+    entry.total_ms = total;
+    entry.span_summary = obs::SpanSummaryLine(s->timings, s->stats);
+    engine->slow_log()->Record(std::move(entry));
+  }
+}
+
 }  // namespace
 
 namespace {
@@ -219,6 +312,8 @@ Status SessionImpl::Launch(ResultSet::Stream* s) {
   if (s->external_cancel != nullptr) s->core->cancel_flag = s->external_cancel;
   s->par = RuntimeFor(*s->session, nullptr);
   s->par.cancel = s->core->cancel_flag;
+  s->par.collect_op_stats = s->force_op_stats || s->engine->trace_spans();
+  s->par.collect_op_cycles = s->force_op_stats;
   HQ_RETURN_IF_ERROR(RegisterStream(s->session, s->core));
 
   ResultSet::Stream* raw = s;
@@ -334,20 +429,31 @@ bool SessionImpl::FinishStream(ResultSet::Stream* s) {
   if (s->producer.joinable()) s->producer.join();
   Status status;
   exec::ExecStats stats;
+  int64_t rows;
   uint64_t delivered;
   uint32_t peak;
   {
     std::lock_guard<std::mutex> lk(s->core->mu);
     status = s->core->final_status;
     stats = s->core->stats;
+    rows = s->core->rows;
     delivered = s->core->pages_delivered;
     peak = s->core->peak_resident;
   }
   if (peak > s->stats_peak_pages) s->stats_peak_pages = peak;
+  if (s->is_meta) {
+    // Pre-materialized EXPLAIN stream: the inner execution already folded
+    // its stats; just seal the cursor.
+    s->stats = stats;
+    s->done = true;
+    s->end_status = std::move(status);
+    return false;
+  }
   RecordExecGauges(s->session.get(), stats);
   if (status.ok()) {
     s->stats = stats;
     s->timings.execute_ms = s->exec_timer.ElapsedMillis();
+    RecordStatementDone(s, rows);
     s->done = true;
     s->end_status = Status::OK();
     if (s->restarted && !s->is_execute) {
@@ -388,6 +494,7 @@ bool SessionImpl::FinishStream(ResultSet::Stream* s) {
   }
   s->stats = stats;
   s->timings.execute_ms = s->exec_timer.ElapsedMillis();
+  StatementMetrics::Get().failed->Increment();
   s->done = true;
   s->end_status = std::move(status);
   return false;
@@ -436,6 +543,16 @@ SessionImpl::PrepareFallback(HiqueEngine* engine,
 Result<PreparedStatement> SessionImpl::Prepare(
     HiqueEngine* engine, const std::string& sql,
     const plan::PlannerOptions& planner) {
+  {
+    bool analyze = false;
+    std::string inner;
+    if (sql::ParseExplainPrefix(sql, &analyze, &inner)) {
+      // EXPLAIN is a one-shot diagnostic: its output depends on transient
+      // cache state, so a prepared handle would lie on re-execution.
+      return Status::BindError(
+          "EXPLAIN cannot be prepared; run it with Query()");
+    }
+  }
   if (sql::IsDmlStatement(sql)) {
     // Validate now (typed parse/placeholder errors surface at Prepare, as
     // they do for reads) but execute per-Execute: DML compiles nothing, so
@@ -526,6 +643,20 @@ Result<ResultSet> SessionImpl::OpenQueryStream(
     HiqueEngine* engine, const std::shared_ptr<Session::State>& session,
     const std::string& sql, const plan::PlannerOptions& planner,
     bool cacheable, std::atomic<int32_t>* external_cancel) {
+  {
+    // EXPLAIN over a cursor (this is the wire server's path): materialize
+    // the report, then serve it from a sealed core — the consumer side
+    // (row loop, page pump, remote protocol) is none the wiser.
+    bool analyze = false;
+    std::string inner;
+    if (sql::ParseExplainPrefix(sql, &analyze, &inner)) {
+      HQ_ASSIGN_OR_RETURN(QueryResult explained,
+                          ExplainQuery(engine, session, inner, analyze,
+                                       planner, cacheable, external_cancel));
+      session->stat_streams_opened.fetch_add(1, std::memory_order_relaxed);
+      return StreamFromResult(engine, session, std::move(explained));
+    }
+  }
   if (sql::IsDmlStatement(sql)) {
     // Writes execute before the cursor is handed out; the stream opens
     // pre-finished (no core, no producer) so every consumer — row loop,
@@ -624,8 +755,11 @@ SessionImpl::AdmissionLease::AdmissionLease(
   leased_ = controller_->EnterBlocking(&session->client);
   session->stat_queued.fetch_sub(1, std::memory_order_relaxed);
   session->stat_dispatched.fetch_add(1, std::memory_order_relaxed);
-  session->stat_wait_micros.fetch_add(wait.ElapsedMicros(),
+  int64_t waited_micros = wait.ElapsedMicros();
+  session->stat_wait_micros.fetch_add(waited_micros,
                                       std::memory_order_relaxed);
+  StatementMetrics::Get().admission_wait_ms->Observe(
+      static_cast<double>(waited_micros) / 1000.0);
   if (!leased_) controller_ = nullptr;  // shutting down: nothing to release
 }
 
@@ -651,6 +785,8 @@ Result<QueryResult> SessionImpl::DrainInline(ResultSet::Stream* s) {
       exec::BindParams(s->state->plan->params, &s->bound);
     }
     s->par = RuntimeFor(*s->session, s->external_cancel);
+    s->par.collect_op_stats = s->force_op_stats || s->engine->trace_spans();
+    s->par.collect_op_cycles = s->force_op_stats;
 
     auto table = std::make_unique<Table>("result", s->schema);
     Status adopt = Status::OK();
@@ -681,11 +817,13 @@ Result<QueryResult> SessionImpl::DrainInline(ResultSet::Stream* s) {
         HQ_RETURN_IF_ERROR(ReplanFresh(s));
         continue;
       }
+      StatementMetrics::Get().failed->Increment();
       return rows.status();
     }
     s->stats = stats;
     s->timings.execute_ms = s->exec_timer.ElapsedMillis();
     RecordExecGauges(s->session.get(), stats);
+    RecordStatementDone(s, rows.value());
     if (s->restarted && !s->is_execute) {
       s->engine->InstallOverflowAlias(s->failed_signature, s->failed_params,
                                       *s->state);
@@ -694,10 +832,158 @@ Result<QueryResult> SessionImpl::DrainInline(ResultSet::Stream* s) {
   }
 }
 
+// ---- EXPLAIN / EXPLAIN ANALYZE --------------------------------------------
+
+Result<QueryResult> SessionImpl::MakeTextResult(
+    const std::string& column, const std::vector<std::string>& lines) {
+  // One fixed-width CHAR column sized to the longest line: CHAR(N) is the
+  // only variable-width type the engine has, and a text report is the only
+  // result shape that flows through every surface (rows, pages, wire)
+  // without a new protocol concept.
+  size_t width = 1;
+  for (const auto& line : lines) width = std::max(width, line.size());
+  // A tuple must fit one NSM page (and leave the 8-byte rounding room).
+  constexpr size_t kMaxWidth = 1024;
+  if (width > kMaxWidth) width = kMaxWidth;
+  auto w = static_cast<uint16_t>(width);
+
+  Schema schema;
+  schema.AddColumn("plan", Type::Char(w));
+  auto table = std::make_unique<Table>("explain", schema);
+  for (const auto& line : lines) {
+    std::string text = line.size() > width ? line.substr(0, width) : line;
+    HQ_RETURN_IF_ERROR(table->AppendRow({Value::Char(std::move(text), w)}));
+  }
+  QueryResult result;
+  result.schema = schema;
+  result.table = std::move(table);
+  return result;
+}
+
+Result<ResultSet> SessionImpl::StreamFromResult(
+    HiqueEngine* engine, const std::shared_ptr<Session::State>& session,
+    QueryResult&& result) {
+  auto stream = std::make_unique<ResultSet::Stream>();
+  stream->engine = engine;
+  stream->session = session;
+  stream->is_meta = true;
+  stream->schema = result.schema;
+  stream->tuple_size = result.schema.TupleSize();
+  stream->plan_signature = result.plan_signature;
+  stream->plan_text = result.plan_text;
+  stream->timings = result.timings;
+  stream->cache_hit = result.cache_hit;
+  stream->opt_level = result.library_opt_level;
+  stream->stats = result.exec_stats;
+
+  const uint32_t tuple_size = stream->tuple_size;
+  const uint32_t per_page = Page::TuplesPerPage(tuple_size);
+  const int64_t rows = result.NumRows();
+  // Capacity covers every page up front, so the sealed core is filled
+  // without a consumer: Push only blocks once `capacity` pages queue up.
+  auto pages_needed = static_cast<uint32_t>(
+      (static_cast<uint64_t>(rows) + per_page - 1) / per_page);
+  auto core = std::make_shared<StreamCore>(pages_needed < 1 ? 1 : pages_needed);
+
+  Page* page = nullptr;
+  uint32_t slot = 0;
+  bool failed = false;
+  auto flush = [&] {
+    if (page == nullptr) return;
+    page->num_tuples = slot;
+    if (!core->Push(page)) failed = true;
+    page = nullptr;
+    slot = 0;
+  };
+  if (result.table != nullptr) {
+    HQ_RETURN_IF_ERROR(result.table->ForEachTuple([&](const uint8_t* tuple) {
+      if (failed) return;
+      if (page == nullptr) {
+        page = core->AcquirePage();
+        if (page == nullptr) {
+          failed = true;
+          return;
+        }
+        std::memset(page, 0, kPageSize);
+      }
+      std::memcpy(page->TupleAt(slot, tuple_size), tuple, tuple_size);
+      if (++slot == per_page) flush();
+    }));
+  }
+  if (!failed) flush();
+  if (failed) return Status::ExecError("out of memory materializing EXPLAIN");
+  core->Finish(Status::OK(), rows, result.exec_stats);
+  stream->core = std::move(core);
+  ResultSet rs;
+  rs.stream_ = std::move(stream);
+  return rs;
+}
+
+Result<QueryResult> SessionImpl::ExplainQuery(
+    HiqueEngine* engine, const std::shared_ptr<Session::State>& session,
+    const std::string& inner, bool analyze,
+    const plan::PlannerOptions& planner, bool cacheable,
+    std::atomic<int32_t>* external_cancel) {
+  {
+    std::lock_guard<std::mutex> lk(session->mu);
+    if (session->closed) return SessionClosedError();
+  }
+  if (sql::IsDmlStatement(inner)) {
+    return Status::PlanError("EXPLAIN supports SELECT statements only");
+  }
+  if (!analyze) {
+    // Plan only: prepare (plan + generate + compile, or a cache hit) but
+    // never execute. The report is the physical plan plus cache metadata.
+    HQ_ASSIGN_OR_RETURN(auto state,
+                        PrepareQueryState(engine, inner, planner, cacheable,
+                                          /*force_hybrid=*/false));
+    auto library = CurrentLibrary(engine, *state);
+    auto lines =
+        obs::RenderExplainLines(state->plan_text, state->signature,
+                                state->cache_hit, library->opt_level());
+    HQ_ASSIGN_OR_RETURN(QueryResult result, MakeTextResult("plan", lines));
+    result.plan_text = state->plan_text;
+    result.plan_signature = state->signature;
+    result.cache_hit = state->cache_hit;
+    result.library_opt_level = library->opt_level();
+    result.timings = state->prepare_timings;
+    return result;
+  }
+  // ANALYZE: run the inner statement with per-operator span collection
+  // (and cycle counters) forced, then render the annotated plan. The inner
+  // execution is the real pipeline — same restarts, same admission, same
+  // metrics fold — so the report reflects exactly what a plain Query did.
+  HQ_ASSIGN_OR_RETURN(auto stream,
+                      BuildQueryStream(engine, session, inner, planner,
+                                       cacheable, external_cancel));
+  stream->force_op_stats = true;
+  HQ_ASSIGN_OR_RETURN(QueryResult executed, DrainInline(stream.get()));
+  auto lines = obs::RenderAnalyzeLines(
+      executed.plan_text, executed.plan_signature, executed.cache_hit,
+      executed.library_opt_level, executed.timings, executed.exec_stats);
+  HQ_ASSIGN_OR_RETURN(QueryResult result, MakeTextResult("plan", lines));
+  result.plan_text = executed.plan_text;
+  result.plan_signature = executed.plan_signature;
+  result.cache_hit = executed.cache_hit;
+  result.library_opt_level = executed.library_opt_level;
+  result.timings = executed.timings;
+  result.exec_stats = executed.exec_stats;
+  result.cache_stats = executed.cache_stats;
+  return result;
+}
+
 Result<QueryResult> SessionImpl::BlockingQuery(
     HiqueEngine* engine, const std::shared_ptr<Session::State>& session,
     const std::string& sql, const plan::PlannerOptions& planner,
     bool cacheable, std::atomic<int32_t>* external_cancel) {
+  {
+    bool analyze = false;
+    std::string inner;
+    if (sql::ParseExplainPrefix(sql, &analyze, &inner)) {
+      return ExplainQuery(engine, session, inner, analyze, planner,
+                          cacheable, external_cancel);
+    }
+  }
   if (sql::IsDmlStatement(sql)) {
     // Writes bypass the compiled-query machinery entirely: the statement
     // executes before any cursor exists, and the result carries only the
@@ -792,8 +1078,11 @@ QueryHandle SessionImpl::Submit(
       return;
     }
     session->stat_dispatched.fetch_add(1, std::memory_order_relaxed);
-    session->stat_wait_micros.fetch_add(queue_wait.ElapsedMicros(),
+    int64_t waited_micros = queue_wait.ElapsedMicros();
+    session->stat_wait_micros.fetch_add(waited_micros,
                                         std::memory_order_relaxed);
+    StatementMetrics::Get().admission_wait_ms->Observe(
+        static_cast<double>(waited_micros) / 1000.0);
     state->dispatch_seq.store(seq, std::memory_order_release);
     auto result = run(&state->cancel);
     {

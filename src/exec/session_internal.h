@@ -237,6 +237,18 @@ struct ResultSet::Stream {
   bool is_dml = false;
   int64_t rows_affected = 0;
 
+  // EXPLAIN ANALYZE forces per-operator span collection (and cycle
+  // counters) for this one statement, regardless of
+  // EngineOptions::trace_spans. Neither flag changes the generated source
+  // or the result bytes — collection is engine-side only.
+  bool force_op_stats = false;
+
+  // Pre-materialized metadata stream (EXPLAIN output wrapped by
+  // StreamFromResult): the core is already sealed, there is no producer
+  // thread, and statement metrics were recorded by the inner execution —
+  // FinishStream must not fold it into the session gauges again.
+  bool is_meta = false;
+
   ~Stream();
 };
 
@@ -274,6 +286,29 @@ struct SessionImpl {
   /// pages are adopted into the result table straight from the executor's
   /// page callback.
   static Result<QueryResult> DrainInline(ResultSet::Stream* stream);
+
+  /// EXPLAIN / EXPLAIN ANALYZE over `inner`: plans (and for ANALYZE,
+  /// executes with span collection forced) the inner statement and renders
+  /// the report as a single-CHAR-column result set, so it flows through
+  /// every existing surface — blocking, cursor, and the wire server —
+  /// unchanged.
+  static Result<QueryResult> ExplainQuery(
+      HiqueEngine* engine, const std::shared_ptr<Session::State>& session,
+      const std::string& inner, bool analyze,
+      const plan::PlannerOptions& planner, bool cacheable,
+      std::atomic<int32_t>* external_cancel);
+
+  /// Builds a one-CHAR-column QueryResult (one row per line, width = the
+  /// longest line).
+  static Result<QueryResult> MakeTextResult(const std::string& column,
+                                            const std::vector<std::string>& lines);
+
+  /// Wraps an already materialized result into a pre-finished stream (pages
+  /// pushed, core sealed, no producer thread) so the cursor and wire paths
+  /// can serve it like any other query.
+  static Result<ResultSet> StreamFromResult(
+      HiqueEngine* engine, const std::shared_ptr<Session::State>& session,
+      QueryResult&& result);
 
   static Result<QueryResult> BlockingQuery(
       HiqueEngine* engine, const std::shared_ptr<Session::State>& session,

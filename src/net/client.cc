@@ -342,6 +342,26 @@ Status Client::Cancel() {
   return SendFrame(MsgType::kCancel, {});
 }
 
+Result<RemoteServerStats> Client::ServerStats() {
+  if (!connected()) return Status::IoError("client is not connected");
+  if (open_cursor_ != nullptr) {
+    return Status::InvalidArgument(
+        "a result stream is already open on this connection");
+  }
+  HQ_RETURN_IF_ERROR(SendFrame(MsgType::kServerStats, {}));
+  Frame reply;
+  HQ_RETURN_IF_ERROR(RecvFrame(&reply));
+  if (reply.type == MsgType::kError) return DecodeError(reply);
+  if (reply.type != MsgType::kServerStatsReply) {
+    return Status::IoError("expected ServerStatsReply frame");
+  }
+  WireReader r(reply.payload);
+  RemoteServerStats stats;
+  HQ_RETURN_IF_ERROR(r.F64(&stats.uptime_seconds));
+  HQ_RETURN_IF_ERROR(r.Str(&stats.prometheus_text));
+  return stats;
+}
+
 Result<RemoteSessionStats> Client::Close() {
   if (!connected()) return Status::IoError("client is not connected");
   if (open_cursor_ != nullptr) open_cursor_->Close();

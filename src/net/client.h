@@ -26,6 +26,14 @@ struct RemoteStatement {
   bool cache_hit = false;  // the server reused a cached compiled library
 };
 
+/// The server's metrics dump (protocol v5 ServerStats/ServerStatsReply):
+/// seconds since the server started plus the full engine metrics registry
+/// rendered as Prometheus text exposition format.
+struct RemoteServerStats {
+  double uptime_seconds = 0;
+  std::string prometheus_text;
+};
+
 /// Session admission metrics the server reports in its CloseAck frame
 /// (mirrors hique::SessionStats for the connection's server-side session).
 struct RemoteSessionStats {
@@ -146,6 +154,11 @@ class Client {
   /// Executes a prepared statement with one value per placeholder.
   Result<RemoteResultSet> Execute(const RemoteStatement& stmt,
                                   const std::vector<Value>& values = {});
+
+  /// Fetches the server's metrics dump (protocol v5). Only between
+  /// statements — an open cursor must be drained or closed first. The
+  /// connection stays usable afterwards.
+  Result<RemoteServerStats> ServerStats();
 
   /// Cancels the in-flight statement (used by RemoteResultSet::Close; may
   /// be called directly from the consuming thread between Next calls).

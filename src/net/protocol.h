@@ -24,7 +24,11 @@ namespace hique::net {
 /// terminal ResultDone or Error frame. Cancel and Close may be sent at any
 /// point, including mid-stream.
 inline constexpr uint32_t kMagic = 0x48515750;  // "HQWP"
-inline constexpr uint16_t kProtocolVersion = 4;  // v4: ResultDone carries rows_affected (DML over the wire)
+// v4: ResultDone carries rows_affected (DML over the wire).
+// v5: ServerStats/ServerStatsReply — a client may ask for the engine's
+//     metrics dump (Prometheus text) between statements. Pure addition:
+//     every v4 frame is encoded identically in v5.
+inline constexpr uint16_t kProtocolVersion = 5;
 inline constexpr uint8_t kLittleEndian = 1;
 
 /// Upper bound on one frame's payload. Row pages are ~4 KiB, SQL text and
@@ -50,6 +54,8 @@ enum class MsgType : uint8_t {
   kCloseAck = 12,     // server -> client: session admission stats summary
   kError = 13,        // server -> client: status code + message (terminal
                       // for the current statement, not the connection)
+  kServerStats = 14,       // client -> server: request the metrics dump (v5)
+  kServerStatsReply = 15,  // server -> client: uptime + Prometheus text (v5)
 };
 
 /// One decoded frame: type + owned payload bytes.

@@ -10,6 +10,7 @@
 
 #include "net/protocol.h"
 #include "net/serde.h"
+#include "obs/metrics.h"
 #include "storage/page.h"
 
 namespace hique::net {
@@ -81,6 +82,7 @@ Status Server::Start() {
   HQ_RETURN_IF_ERROR(listener_.SetNonBlocking(true));
   stop_.store(false, std::memory_order_release);
   running_.store(true, std::memory_order_release);
+  uptime_.Restart();
   loop_ = std::thread(&Server::Loop, this);
   return Status::OK();
 }
@@ -96,6 +98,69 @@ void Server::Stop() {
 ServerStats Server::stats() const {
   std::lock_guard<std::mutex> lk(stats_mu_);
   return stats_;
+}
+
+void Server::SyncServerGauges() {
+  struct WireGauges {
+    obs::Gauge* accepted;
+    obs::Gauge* rejected;
+    obs::Gauge* active;
+    obs::Gauge* started;
+    obs::Gauge* finished;
+    obs::Gauge* failed;
+    obs::Gauge* cancelled;
+    obs::Gauge* pages;
+    obs::Gauge* rows;
+    obs::Gauge* bytes;
+    obs::Gauge* scrapes;
+    static const WireGauges& Get() {
+      static WireGauges g = [] {
+        auto& r = obs::Registry::Global();
+        WireGauges w;
+        w.accepted = r.GetGauge("hique_server_connections_accepted",
+                                "Connections accepted since server start");
+        w.rejected = r.GetGauge("hique_server_connections_rejected",
+                                "Connections refused over max_connections");
+        w.active = r.GetGauge("hique_server_connections_active",
+                              "Currently open client connections");
+        w.started = r.GetGauge("hique_server_queries_started",
+                               "Statements that produced a result stream");
+        w.finished = r.GetGauge("hique_server_queries_finished",
+                                "Streams that reached ResultDone");
+        w.failed = r.GetGauge("hique_server_queries_failed",
+                              "Statements that ended in an Error frame");
+        w.cancelled = r.GetGauge("hique_server_queries_cancelled",
+                                 "Streams cancelled by Cancel/disconnect");
+        w.pages = r.GetGauge("hique_server_pages_streamed",
+                             "RowPage frames sent to clients");
+        w.rows = r.GetGauge("hique_server_rows_streamed",
+                            "Result rows sent to clients");
+        w.bytes = r.GetGauge("hique_server_bytes_sent",
+                             "Bytes written to client sockets");
+        w.scrapes = r.GetGauge("hique_server_stats_requests",
+                               "ServerStats scrapes served");
+        return w;
+      }();
+      return g;
+    }
+  };
+  ServerStats s;
+  {
+    std::lock_guard<std::mutex> lk(stats_mu_);
+    s = stats_;
+  }
+  const WireGauges& g = WireGauges::Get();
+  g.accepted->Set(static_cast<int64_t>(s.connections_accepted));
+  g.rejected->Set(static_cast<int64_t>(s.connections_rejected));
+  g.active->Set(static_cast<int64_t>(s.connections_active));
+  g.started->Set(static_cast<int64_t>(s.queries_started));
+  g.finished->Set(static_cast<int64_t>(s.queries_finished));
+  g.failed->Set(static_cast<int64_t>(s.queries_failed));
+  g.cancelled->Set(static_cast<int64_t>(s.queries_cancelled));
+  g.pages->Set(static_cast<int64_t>(s.pages_streamed));
+  g.rows->Set(static_cast<int64_t>(s.rows_streamed));
+  g.bytes->Set(static_cast<int64_t>(s.bytes_sent));
+  g.scrapes->Set(static_cast<int64_t>(s.stats_requests));
 }
 
 void Server::SendFrame(Connection* conn, uint8_t type,
@@ -305,6 +370,24 @@ bool Server::HandleFrame(Connection* conn, const Frame& frame) {
         conn->cursor.Close();  // cancels within one page
         conn->pending = false;
       }
+      return true;
+    }
+    case MsgType::kServerStats: {
+      if (conn->streaming) {
+        SendError(conn, Status::IoError("statement already in flight"));
+        conn->closing = true;
+        return true;
+      }
+      {
+        std::lock_guard<std::mutex> lk(stats_mu_);
+        ++stats_.stats_requests;
+      }
+      SyncServerGauges();
+      WireWriter w;
+      w.F64(uptime_.ElapsedSeconds());
+      w.Str(engine_->RenderStats());
+      SendFrame(conn, static_cast<uint8_t>(MsgType::kServerStatsReply),
+                w.buffer());
       return true;
     }
     case MsgType::kClose: {

@@ -13,6 +13,7 @@
 #include "net/protocol.h"
 #include "net/socket.h"
 #include "util/status.h"
+#include "util/timer.h"
 
 namespace hique::net {
 
@@ -42,6 +43,7 @@ struct ServerStats {
   uint64_t pages_streamed = 0;     // RowPage frames sent
   uint64_t rows_streamed = 0;
   uint64_t bytes_sent = 0;
+  uint64_t stats_requests = 0;     // v5 ServerStats scrapes served
 };
 
 /// hiqued: the wire-protocol front-end. One poll-driven event-loop thread
@@ -93,6 +95,10 @@ class Server {
   void SendFrame(Connection* conn, uint8_t type,
                  const std::vector<uint8_t>& payload);
   void SendError(Connection* conn, const Status& status);
+  /// Mirrors the exact ServerStats counters into the global metrics
+  /// registry (hique_server_*) — called at scrape time, so the per-frame
+  /// hot path pays nothing extra.
+  void SyncServerGauges();
 
   HiqueEngine* engine_;
   ServerOptions options_;
@@ -110,6 +116,7 @@ class Server {
 
   mutable std::mutex stats_mu_;
   ServerStats stats_;
+  WallTimer uptime_;  // Start() -> now, reported in ServerStatsReply
 };
 
 }  // namespace hique::net

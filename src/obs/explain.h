@@ -1,0 +1,41 @@
+#ifndef HIQUE_OBS_EXPLAIN_H_
+#define HIQUE_OBS_EXPLAIN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "exec/executor.h"
+
+namespace hique {
+struct QueryTimings;
+}
+
+namespace hique::obs {
+
+/// Renders `EXPLAIN <stmt>`: the physical plan (one line per operator, the
+/// plan::PhysicalPlan::ToString rendering) plus plan-cache metadata. Each
+/// element is one output row of the single-column result set.
+std::vector<std::string> RenderExplainLines(const std::string& plan_text,
+                                            const std::string& signature,
+                                            bool cache_hit, int opt_level);
+
+/// Renders `EXPLAIN ANALYZE <stmt>`: the plan annotated per operator with
+/// its span (wall time + share of execute, tuples, pages, barrier shape,
+/// per-operator skew, hardware cycles or "n/a"), preceded by the
+/// end-to-end phase timings (parse → optimize → generate → compile →
+/// execute) and the run's summary counters.
+std::vector<std::string> RenderAnalyzeLines(const std::string& plan_text,
+                                            const std::string& signature,
+                                            bool cache_hit, int opt_level,
+                                            const QueryTimings& timings,
+                                            const exec::ExecStats& stats);
+
+/// One-line span summary for the slow-query log: phase timings plus the
+/// slowest operator's id and share.
+std::string SpanSummaryLine(const QueryTimings& timings,
+                            const exec::ExecStats& stats);
+
+}  // namespace hique::obs
+
+#endif  // HIQUE_OBS_EXPLAIN_H_

@@ -1,0 +1,184 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+#include <thread>
+
+namespace hique::obs {
+
+namespace {
+
+/// Stable per-thread shard slot: hash the thread id once. Collisions just
+/// share a shard — correctness is unaffected, only contention.
+size_t ThreadShard() {
+  static thread_local size_t slot =
+      std::hash<std::thread::id>()(std::this_thread::get_id()) %
+      Counter::kShards;
+  return slot;
+}
+
+std::string FormatValue(double v) {
+  // Prometheus wants plain decimal; %.9g keeps integers exact up to 2^53
+  // and avoids trailing-zero noise for floats.
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+}  // namespace
+
+void Counter::Add(uint64_t delta) {
+  shards_[ThreadShard()].v.fetch_add(delta, std::memory_order_relaxed);
+}
+
+uint64_t Counter::Value() const {
+  uint64_t total = 0;
+  for (const Shard& s : shards_) {
+    total += s.v.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)), buckets_(bounds_.size()) {
+  // Bounds must ascend for CumulativeCount / Quantile to make sense.
+  std::sort(bounds_.begin(), bounds_.end());
+}
+
+void Histogram::Observe(double value) {
+  size_t i = 0;
+  while (i < bounds_.size() && value > bounds_[i]) ++i;
+  if (i < buckets_.size()) {
+    buckets_[i].fetch_add(1, std::memory_order_relaxed);
+  } else {
+    overflow_.fetch_add(1, std::memory_order_relaxed);
+  }
+  count_.fetch_add(1, std::memory_order_relaxed);
+  // double accumulation via CAS on the bit pattern: rare enough (one
+  // observation per query) that the loop never spins in practice.
+  uint64_t expected = sum_bits_.load(std::memory_order_relaxed);
+  for (;;) {
+    double current;
+    std::memcpy(&current, &expected, sizeof(current));
+    double next = current + value;
+    uint64_t next_bits;
+    std::memcpy(&next_bits, &next, sizeof(next_bits));
+    if (sum_bits_.compare_exchange_weak(expected, next_bits,
+                                        std::memory_order_relaxed)) {
+      break;
+    }
+  }
+}
+
+uint64_t Histogram::Count() const {
+  return count_.load(std::memory_order_relaxed);
+}
+
+double Histogram::Sum() const {
+  uint64_t bits = sum_bits_.load(std::memory_order_relaxed);
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+uint64_t Histogram::CumulativeCount(size_t i) const {
+  uint64_t total = 0;
+  for (size_t k = 0; k <= i && k < buckets_.size(); ++k) {
+    total += buckets_[k].load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+double Histogram::Quantile(double q) const {
+  uint64_t total = Count();
+  if (total == 0) return 0;
+  if (q < 0) q = 0;
+  if (q > 1) q = 1;
+  double rank = q * static_cast<double>(total);
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < bounds_.size(); ++i) {
+    uint64_t in_bucket = buckets_[i].load(std::memory_order_relaxed);
+    if (cumulative + in_bucket >= rank && in_bucket > 0) {
+      double lower = i == 0 ? 0 : bounds_[i - 1];
+      double upper = bounds_[i];
+      double into = rank - static_cast<double>(cumulative);
+      return lower + (upper - lower) * (into / static_cast<double>(in_bucket));
+    }
+    cumulative += in_bucket;
+  }
+  // Rank falls into the overflow bucket: clamp to the last bound.
+  return bounds_.empty() ? 0 : bounds_.back();
+}
+
+std::vector<double> LatencyBucketsMs() {
+  return {0.05, 0.1, 0.25, 0.5, 1,    2.5,  5,    10,   25,    50,
+          100,  250, 500,  1000, 2500, 5000, 10000, 30000};
+}
+
+Registry& Registry::Global() {
+  static Registry* registry = new Registry();  // never destroyed: call
+  return *registry;  // sites may bump counters during static teardown
+}
+
+Counter* Registry::GetCounter(const std::string& name,
+                              const std::string& help) {
+  std::lock_guard<std::mutex> lk(mu_);
+  Entry& e = entries_[name];
+  if (e.counter == nullptr) {
+    e.help = help;
+    e.counter = std::make_unique<Counter>();
+  }
+  return e.counter.get();
+}
+
+Gauge* Registry::GetGauge(const std::string& name, const std::string& help) {
+  std::lock_guard<std::mutex> lk(mu_);
+  Entry& e = entries_[name];
+  if (e.gauge == nullptr) {
+    e.help = help;
+    e.gauge = std::make_unique<Gauge>();
+  }
+  return e.gauge.get();
+}
+
+Histogram* Registry::GetHistogram(const std::string& name,
+                                  const std::string& help,
+                                  std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lk(mu_);
+  Entry& e = entries_[name];
+  if (e.histogram == nullptr) {
+    e.help = help;
+    e.histogram = std::make_unique<Histogram>(std::move(bounds));
+  }
+  return e.histogram.get();
+}
+
+std::string Registry::RenderPrometheus() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::ostringstream out;
+  for (const auto& [name, e] : entries_) {
+    if (!e.help.empty()) out << "# HELP " << name << " " << e.help << "\n";
+    if (e.counter != nullptr) {
+      out << "# TYPE " << name << " counter\n";
+      out << name << " " << e.counter->Value() << "\n";
+    } else if (e.gauge != nullptr) {
+      out << "# TYPE " << name << " gauge\n";
+      out << name << " " << e.gauge->Value() << "\n";
+    } else if (e.histogram != nullptr) {
+      const Histogram& h = *e.histogram;
+      out << "# TYPE " << name << " histogram\n";
+      for (size_t i = 0; i < h.bounds().size(); ++i) {
+        out << name << "_bucket{le=\"" << FormatValue(h.bounds()[i])
+            << "\"} " << h.CumulativeCount(i) << "\n";
+      }
+      out << name << "_bucket{le=\"+Inf\"} " << h.Count() << "\n";
+      out << name << "_sum " << FormatValue(h.Sum()) << "\n";
+      out << name << "_count " << h.Count() << "\n";
+    }
+  }
+  return out.str();
+}
+
+}  // namespace hique::obs

@@ -1,0 +1,32 @@
+#include "obs/slow_log.h"
+
+#include <cstdio>
+
+namespace hique::obs {
+
+void SlowQueryLog::Record(SlowQueryEntry entry) {
+  // One stderr line per slow statement — greppable in hiqued logs without
+  // any scrape infrastructure. The SQL is truncated so a pathological
+  // statement cannot flood the log.
+  std::string sql = entry.sql;
+  if (sql.size() > 200) sql = sql.substr(0, 197) + "...";
+  std::fprintf(stderr, "[slow-query] %.3f ms sig=%s %s | %s\n",
+               entry.total_ms, entry.signature.c_str(), sql.c_str(),
+               entry.span_summary.c_str());
+  std::lock_guard<std::mutex> lk(mu_);
+  entries_.push_back(std::move(entry));
+  ++total_;
+  while (entries_.size() > capacity_) entries_.pop_front();
+}
+
+std::vector<SlowQueryEntry> SlowQueryLog::Snapshot() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return {entries_.begin(), entries_.end()};
+}
+
+uint64_t SlowQueryLog::total_recorded() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return total_;
+}
+
+}  // namespace hique::obs

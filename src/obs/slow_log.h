@@ -1,0 +1,45 @@
+#ifndef HIQUE_OBS_SLOW_LOG_H_
+#define HIQUE_OBS_SLOW_LOG_H_
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace hique::obs {
+
+/// One slow-statement record: what ran, how it was keyed, and where the
+/// time went (a one-line span summary — phase timings plus the slowest
+/// operator).
+struct SlowQueryEntry {
+  std::string sql;
+  std::string signature;
+  double total_ms = 0;
+  std::string span_summary;
+};
+
+/// Bounded in-memory slow-query log. Statements whose end-to-end time
+/// crosses the engine's threshold (EngineOptions::slow_query_ms /
+/// HQ_SLOW_QUERY_MS; 0 disables) are recorded here and echoed to stderr.
+/// The ring keeps the most recent `capacity` entries; Snapshot() is for
+/// tests and the stats surface.
+class SlowQueryLog {
+ public:
+  explicit SlowQueryLog(size_t capacity = 128) : capacity_(capacity) {}
+
+  void Record(SlowQueryEntry entry);
+
+  std::vector<SlowQueryEntry> Snapshot() const;
+  uint64_t total_recorded() const;
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::deque<SlowQueryEntry> entries_;
+  uint64_t total_ = 0;
+};
+
+}  // namespace hique::obs
+
+#endif  // HIQUE_OBS_SLOW_LOG_H_

@@ -82,6 +82,18 @@ void PerfCounters::Start() {
   }
 }
 
+bool PerfCounters::ReadCycles(uint64_t* out) const {
+  if (!available_) return false;
+  for (size_t i = 0; i < fds_.size(); ++i) {
+    if (kinds_[i] != kCycles) continue;
+    uint64_t value = 0;
+    if (read(fds_[i], &value, sizeof(value)) != sizeof(value)) return false;
+    *out = value;
+    return true;
+  }
+  return false;
+}
+
 CounterSample PerfCounters::Stop() {
   CounterSample sample;
   sample.available = available_;

@@ -41,6 +41,12 @@ class PerfCounters {
   void Start();
   CounterSample Stop();
 
+  /// Reads the cycle counter without disabling it — for span-granular
+  /// deltas between Start() and Stop() (EXPLAIN ANALYZE per-operator
+  /// cycles). Returns false when the counter is unavailable or the read
+  /// fails; callers then report "n/a".
+  bool ReadCycles(uint64_t* out) const;
+
  private:
   bool available_ = false;
   std::vector<int> fds_;

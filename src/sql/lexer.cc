@@ -11,7 +11,7 @@ const std::unordered_set<std::string>& Keywords() {
       "SELECT", "FROM", "WHERE", "GROUP",  "BY",  "ORDER", "ASC",
       "DESC",   "LIMIT", "AS",   "AND",    "SUM", "COUNT", "AVG",
       "MIN",    "MAX",   "DATE",  "INSERT", "INTO", "VALUES",
-      "UPDATE", "SET",   "DELETE",
+      "UPDATE", "SET",   "DELETE", "EXPLAIN", "ANALYZE",
   };
   return *kw;
 }

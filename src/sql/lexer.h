@@ -29,7 +29,7 @@ struct Token {
 
 /// Tokenizes a SQL string. Keywords recognised: SELECT FROM WHERE GROUP BY
 /// ORDER ASC DESC LIMIT AS AND SUM COUNT AVG MIN MAX DATE INSERT INTO
-/// VALUES UPDATE SET DELETE. Symbols:
+/// VALUES UPDATE SET DELETE EXPLAIN ANALYZE. Symbols:
 /// , ( ) * + - / = <> != < <= > >= . ; ? (positional placeholder)
 Result<std::vector<Token>> Tokenize(const std::string& input);
 

@@ -394,6 +394,31 @@ bool IsDmlStatement(const std::string& sql) {
   return word == "INSERT" || word == "UPDATE" || word == "DELETE";
 }
 
+bool ParseExplainPrefix(const std::string& sql, bool* analyze,
+                        std::string* inner) {
+  auto next_word = [&sql](size_t* pos) -> std::string {
+    while (*pos < sql.size() &&
+           std::isspace(static_cast<unsigned char>(sql[*pos]))) {
+      ++*pos;
+    }
+    size_t start = *pos;
+    while (*pos < sql.size() &&
+           std::isalpha(static_cast<unsigned char>(sql[*pos]))) {
+      ++*pos;
+    }
+    std::string word = sql.substr(start, *pos - start);
+    for (char& c : word) c = static_cast<char>(std::toupper(c));
+    return word;
+  };
+  size_t pos = 0;
+  if (next_word(&pos) != "EXPLAIN") return false;
+  size_t after_explain = pos;
+  bool has_analyze = next_word(&pos) == "ANALYZE";
+  *analyze = has_analyze;
+  *inner = sql.substr(has_analyze ? pos : after_explain);
+  return true;
+}
+
 Result<std::unique_ptr<DmlStmt>> ParseDml(const std::string& sql) {
   HQ_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(sql));
   Parser parser(std::move(tokens));

@@ -20,6 +20,14 @@ bool IsDmlStatement(const std::string& sql);
 /// Placeholders (`?`) are rejected — DML is not a prepared-statement path.
 Result<std::unique_ptr<DmlStmt>> ParseDml(const std::string& sql);
 
+/// Cheap routing check for `EXPLAIN [ANALYZE] <stmt>` (lexical, like
+/// IsDmlStatement). When `sql` starts with the EXPLAIN keyword, returns
+/// true and fills `*analyze` and `*inner` (the statement after the
+/// prefix, which may itself fail to parse later). Otherwise returns false
+/// and leaves the outputs untouched.
+bool ParseExplainPrefix(const std::string& sql, bool* analyze,
+                        std::string* inner);
+
 }  // namespace hique::sql
 
 #endif  // HIQUE_SQL_PARSER_H_

@@ -443,6 +443,91 @@ TEST_F(NetServerTest, HostileDmlFramesAreStatementTerminalOnly) {
   server.Stop();
 }
 
+// Acceptance: the v5 ServerStats scrape serves a well-formed Prometheus
+// dump while other connections are mid-query — scrapers and query traffic
+// share the server and the metrics registry without racing (run under
+// TSan in CI). Every scrape must parse, report a plausible uptime, and
+// contain the statement/server metric families the traffic feeds.
+TEST_F(NetServerTest, StatsScrapeUnderConcurrentLoad) {
+  Catalog& catalog = SharedCatalog();
+  HiqueEngine engine(&catalog, FastOptions(2));
+  net::Server server(&engine);
+  ASSERT_TRUE(server.Start().ok());
+
+  std::atomic<bool> stop{false};
+  std::vector<std::string> failures(4);
+  std::vector<std::thread> workers;
+  // Two query clients loop the suite's SQL; two scrapers poll ServerStats.
+  for (int c = 0; c < 2; ++c) {
+    workers.emplace_back([&, c] {
+      auto connected = net::Client::Connect("127.0.0.1", server.port());
+      if (!connected.ok()) {
+        failures[c] = "connect: " + connected.status().ToString();
+        return;
+      }
+      net::Client client = std::move(connected).value();
+      std::vector<std::string> queries = Queries();
+      while (!stop.load(std::memory_order_acquire)) {
+        const std::string& sql = queries[static_cast<size_t>(c) %
+                                         queries.size()];
+        auto rs = client.Query(sql);
+        if (!rs.ok()) {
+          failures[c] = sql + ": " + rs.status().ToString();
+          return;
+        }
+        net::RemoteResultSet cursor = std::move(rs).value();
+        while (cursor.Next()) {
+        }
+        if (!cursor.status().ok()) {
+          failures[c] = sql + ": " + cursor.status().ToString();
+          return;
+        }
+      }
+    });
+  }
+  for (int c = 2; c < 4; ++c) {
+    workers.emplace_back([&, c] {
+      auto connected = net::Client::Connect("127.0.0.1", server.port());
+      if (!connected.ok()) {
+        failures[c] = "connect: " + connected.status().ToString();
+        return;
+      }
+      net::Client client = std::move(connected).value();
+      int scrapes = 0;
+      while (!stop.load(std::memory_order_acquire) || scrapes == 0) {
+        auto stats = client.ServerStats();
+        if (!stats.ok()) {
+          failures[c] = "scrape: " + stats.status().ToString();
+          return;
+        }
+        if (stats.value().uptime_seconds < 0) {
+          failures[c] = "negative uptime";
+          return;
+        }
+        const std::string& text = stats.value().prometheus_text;
+        if (text.find("# HELP hique_statements_total ") == std::string::npos ||
+            text.find("hique_server_connections_active") ==
+                std::string::npos ||
+            text.find("hique_statement_execute_ms_bucket{le=\"+Inf\"}") ==
+                std::string::npos) {
+          failures[c] = "scrape missing expected metric families";
+          return;
+        }
+        ++scrapes;
+      }
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(1500));
+  stop.store(true, std::memory_order_release);
+  for (auto& t : workers) t.join();
+  for (int c = 0; c < 4; ++c) EXPECT_EQ(failures[c], "") << "worker " << c;
+
+  net::ServerStats stats = server.stats();
+  EXPECT_GT(stats.stats_requests, 0u);
+  EXPECT_GT(stats.queries_finished, 0u);
+  server.Stop();
+}
+
 TEST_F(NetServerTest, ServerStopUnblocksConnectedClients) {
   Catalog& catalog = SharedCatalog();
   HiqueEngine engine(&catalog, FastOptions(2));
